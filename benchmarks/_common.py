@@ -1,0 +1,69 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one experiment table from the per-claim
+registry (DESIGN.md maps experiment ids to paper claims), asserts the
+claim's *shape* on the measured data, saves the rendered table under
+``benchmarks/results/``, and reports wall-clock via pytest-benchmark.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.harness.experiments import run_experiment
+from repro.harness.persistence import save_table
+from repro.harness.tables import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Profile used by the benches; override with REPRO_BENCH_PROFILE=standard.
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+
+
+def run_and_save(exp_id: str, **overrides) -> Table:
+    """Run a registered experiment; persist both ASCII and JSON forms."""
+    table = run_experiment(exp_id, PROFILE, **overrides)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(table.render() + "\n")
+    save_table(
+        table,
+        RESULTS_DIR / f"{exp_id}.json",
+        exp_id=exp_id,
+        profile=PROFILE,
+        extra={"overrides": {k: repr(v) for k, v in overrides.items()}},
+    )
+    return table
+
+
+def bench_experiment(benchmark, exp_id: str, **overrides) -> Table:
+    """Benchmark one experiment end-to-end (single measured round)."""
+    table = benchmark.pedantic(
+        lambda: run_and_save(exp_id, **overrides), rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = exp_id
+    benchmark.extra_info["profile"] = PROFILE
+    return table
+
+
+def bench_and_verify(benchmark, exp_id: str, **overrides) -> Table:
+    """Benchmark one experiment and assert its paper-claim shape checks.
+
+    The checks live in :mod:`repro.harness.verify`, shared with the CLI's
+    ``repro experiments verify`` — the benches and the CLI can never
+    disagree about what "reproduced" means.
+    """
+    from repro.harness.verify import verify_experiment
+
+    table = bench_experiment(benchmark, exp_id, **overrides)
+    results = verify_experiment(exp_id, table)
+    benchmark.extra_info["checks"] = [
+        f"{'PASS' if c.passed else 'FAIL'} {c.name}" for c in results
+    ]
+    failed = [str(c) for c in results if not c.passed]
+    assert not failed, failed
+    return table

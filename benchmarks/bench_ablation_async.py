@@ -1,0 +1,7 @@
+"""A2 — ablation: async bit convergence tag width k (position-sampling cost)."""
+
+from _common import bench_and_verify
+
+
+def test_a2_async_tag_width(benchmark):
+    bench_and_verify(benchmark, "A2")

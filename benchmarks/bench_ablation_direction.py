@@ -1,0 +1,7 @@
+"""A3 — ablation: PUSH-only / PULL-only vs symmetric PUSH-PULL at b=0."""
+
+from _common import bench_and_verify
+
+
+def test_a3_direction(benchmark):
+    bench_and_verify(benchmark, "A3")

@@ -1,0 +1,7 @@
+"""A1 — ablation: the 2*log(Delta) group length of bit convergence."""
+
+from _common import bench_and_verify
+
+
+def test_a1_group_length(benchmark):
+    bench_and_verify(benchmark, "A1")

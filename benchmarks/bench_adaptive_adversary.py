@@ -1,0 +1,7 @@
+"""E12 — extension: adaptive worst-case churn vs oblivious churn."""
+
+from _common import bench_and_verify
+
+
+def test_e12_adaptive_adversary(benchmark):
+    bench_and_verify(benchmark, "E12")

@@ -1,0 +1,7 @@
+"""E8 — Theorem VIII.2: async bit convergence within polylog of the original."""
+
+from _common import bench_and_verify
+
+
+def test_e8_async(benchmark):
+    bench_and_verify(benchmark, "E8")

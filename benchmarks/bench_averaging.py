@@ -1,0 +1,7 @@
+"""E17 — extension: averaging gossip (data aggregation) tracks 1/alpha."""
+
+from _common import bench_and_verify
+
+
+def test_e17_averaging(benchmark):
+    bench_and_verify(benchmark, "E17")

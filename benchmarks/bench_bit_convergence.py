@@ -1,0 +1,7 @@
+"""E6 — Theorem VII.2: bit convergence vs the stability factor tau."""
+
+from _common import bench_and_verify
+
+
+def test_e6_bit_convergence_tau(benchmark):
+    bench_and_verify(benchmark, "E6")

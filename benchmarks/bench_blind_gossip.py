@@ -1,0 +1,7 @@
+"""E3 — Theorem VI.1: blind gossip scales ~Delta^2 on hub-bottleneck graphs."""
+
+from _common import bench_and_verify
+
+
+def test_e3_blind_gossip_scaling(benchmark):
+    bench_and_verify(benchmark, "E3")

@@ -1,0 +1,7 @@
+"""E10 — the single-connection restriction costs Delta^2 (classical vs mobile)."""
+
+from _common import bench_and_verify
+
+
+def test_e10_classical_vs_mobile(benchmark):
+    bench_and_verify(benchmark, "E10")

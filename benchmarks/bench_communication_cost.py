@@ -1,0 +1,7 @@
+"""E15 — communication cost: total connections until stabilization."""
+
+from _common import bench_and_verify
+
+
+def test_e15_communication_cost(benchmark):
+    bench_and_verify(benchmark, "E15")

@@ -1,0 +1,7 @@
+"""E18 — extension: consensus via leader election."""
+
+from _common import bench_and_verify
+
+
+def test_e18_consensus(benchmark):
+    bench_and_verify(benchmark, "E18")

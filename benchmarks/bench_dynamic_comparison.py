@@ -1,0 +1,7 @@
+"""E11 — the 1/alpha term drives the cost; churn-mixing erases it."""
+
+from _common import bench_and_verify
+
+
+def test_e11_dynamic_comparison(benchmark):
+    bench_and_verify(benchmark, "E11")

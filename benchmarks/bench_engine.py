@@ -1,0 +1,81 @@
+"""Microbenchmarks: round throughput of the engines and CSR primitives.
+
+These are conventional pytest-benchmark measurements (many iterations)
+quantifying the simulator itself — the substrate every experiment rides
+on — and documenting the reference-vs-vectorized speed gap.
+"""
+
+import numpy as np
+
+from repro.algorithms.bit_convergence import BitConvergenceConfig, BitConvergenceVectorized
+from repro.algorithms.blind_gossip import BlindGossipVectorized, make_blind_gossip_nodes
+from repro.core.engine import ReferenceEngine
+from repro.core.payload import UIDSpace
+from repro.core.vectorized import VectorizedEngine
+from repro.graphs import families
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.harness.experiments import uid_keys_random
+from repro.util.csrops import segmented_random_pick, segmented_uniform_accept
+
+N = 256
+DEGREE = 8
+
+
+def test_vectorized_engine_round(benchmark):
+    g = families.random_regular(N, DEGREE, seed=0)
+    keys = uid_keys_random(N, 0)
+    eng = VectorizedEngine(StaticDynamicGraph(g), BlindGossipVectorized(keys), seed=0)
+    counter = iter(range(1, 10_000_000))
+
+    benchmark(lambda: eng.step(next(counter)))
+
+
+def test_vectorized_bit_convergence_round(benchmark):
+    g = families.random_regular(N, DEGREE, seed=0)
+    keys = uid_keys_random(N, 0)
+    cfg = BitConvergenceConfig(n_upper=N, delta_bound=DEGREE, beta=1.0)
+    eng = VectorizedEngine(
+        StaticDynamicGraph(g),
+        BitConvergenceVectorized(keys, cfg, tag_seed=0, unique_tags=True),
+        seed=0,
+    )
+    counter = iter(range(1, 10_000_000))
+
+    benchmark(lambda: eng.step(next(counter)))
+
+
+def test_reference_engine_round(benchmark):
+    g = families.random_regular(64, DEGREE, seed=0)
+    us = UIDSpace(64, seed=0)
+    eng = ReferenceEngine(StaticDynamicGraph(g), make_blind_gossip_nodes(us), seed=0)
+    counter = iter(range(1, 10_000_000))
+
+    benchmark(lambda: eng.step(next(counter)))
+
+
+def test_vectorized_engine_round_large(benchmark):
+    """Scalability point: one vectorized round at n=4096."""
+    g = families.random_regular(4096, 16, seed=0)
+    keys = uid_keys_random(4096, 0)
+    eng = VectorizedEngine(StaticDynamicGraph(g), BlindGossipVectorized(keys), seed=0)
+    counter = iter(range(1, 10_000_000))
+
+    benchmark(lambda: eng.step(next(counter)))
+
+
+def test_segmented_random_pick(benchmark):
+    g = families.random_regular(1024, 16, seed=0)
+    rng = np.random.default_rng(0)
+    mask = rng.random(1024) < 0.5
+
+    benchmark(
+        lambda: segmented_random_pick(g.indptr, g.indices, rng, neighbor_mask=mask)
+    )
+
+
+def test_segmented_uniform_accept(benchmark):
+    rng = np.random.default_rng(0)
+    senders = rng.permutation(4096).astype(np.int64)
+    targets = rng.integers(0, 512, size=4096)
+
+    benchmark(lambda: segmented_uniform_accept(senders, targets, 4096, rng))

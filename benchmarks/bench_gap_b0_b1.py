@@ -1,0 +1,7 @@
+"""E7 — the b=0 vs b=1 gap grows with tau (Section VII headline)."""
+
+from _common import bench_and_verify
+
+
+def test_e7_gap_b0_b1(benchmark):
+    bench_and_verify(benchmark, "E7")

@@ -1,0 +1,7 @@
+"""E13 — Lemma VII.5: good phases occur with constant probability."""
+
+from _common import bench_and_verify
+
+
+def test_e13_good_phase_frequency(benchmark):
+    bench_and_verify(benchmark, "E13")

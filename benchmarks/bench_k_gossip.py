@@ -1,0 +1,7 @@
+"""E16 — extension: k-gossip all-to-all dissemination."""
+
+from _common import bench_and_verify
+
+
+def test_e16_k_gossip(benchmark):
+    bench_and_verify(benchmark, "E16")

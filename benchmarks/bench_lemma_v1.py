@@ -1,0 +1,7 @@
+"""E1 — Lemma V.1: the cut-matching ratio dominates alpha/4 everywhere."""
+
+from _common import bench_and_verify
+
+
+def test_e1_lemma_v1(benchmark):
+    bench_and_verify(benchmark, "E1")

@@ -1,0 +1,7 @@
+"""E4 — Section VI: Omega(Delta^2/sqrt(alpha)) on the line of stars."""
+
+from _common import bench_and_verify
+
+
+def test_e4_line_of_stars_lower_bound(benchmark):
+    bench_and_verify(benchmark, "E4")

@@ -1,0 +1,7 @@
+"""E2 — Theorem V.2: PPUSH informs >= m/f(r) across a cut in r stable rounds."""
+
+from _common import bench_and_verify
+
+
+def test_e2_ppush_matching(benchmark):
+    bench_and_verify(benchmark, "E2")

@@ -1,0 +1,7 @@
+"""E14 — PPUSH (b=1) matches classical PUSH-PULL within log factors."""
+
+from _common import bench_and_verify
+
+
+def test_e14_ppush_vs_classical(benchmark):
+    bench_and_verify(benchmark, "E14")

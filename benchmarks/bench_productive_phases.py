@@ -1,0 +1,7 @@
+"""E19 — Lemmas VI.4/VI.5: blind gossip phases are productive w.h.p."""
+
+from _common import bench_and_verify
+
+
+def test_e19_productive_phases(benchmark):
+    bench_and_verify(benchmark, "E19")

@@ -1,0 +1,7 @@
+"""E5 — Corollary VI.6: b=0 PUSH-PULL rumor spreading scales ~Delta^2."""
+
+from _common import bench_and_verify
+
+
+def test_e5_push_pull(benchmark):
+    bench_and_verify(benchmark, "E5")

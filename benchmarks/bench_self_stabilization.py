@@ -1,0 +1,7 @@
+"""E9 — Section VIII: joining converged components re-stabilizes in normal time."""
+
+from _common import bench_and_verify
+
+
+def test_e9_self_stabilization(benchmark):
+    bench_and_verify(benchmark, "E9")

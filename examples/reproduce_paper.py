@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Reproduce every experiment table (E1-E11, A1-A2) from the paper mapping.
+
+Usage::
+
+    python examples/reproduce_paper.py                # quick profile, all
+    python examples/reproduce_paper.py --standard     # full-size runs
+    python examples/reproduce_paper.py E3 E7          # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    profile = "standard" if "--standard" in args else "quick"
+    wanted = [a for a in args if not a.startswith("--")] or sorted(
+        EXPERIMENTS, key=lambda k: (k[0] != "E", len(k), k)
+    )
+    for exp_id in wanted:
+        exp = EXPERIMENTS[exp_id]
+        print(f"\n### {exp_id} — {exp.claim}  [{profile}]")
+        t0 = time.time()
+        table = run_experiment(exp_id, profile)
+        print(table.render())
+        print(f"(completed in {time.time() - t0:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""The paper's algorithms, each in per-node and vectorized form.
+
+===========================  ===========  =====================  ==========
+Algorithm                    Tag bits b   Problem                Section
+===========================  ===========  =====================  ==========
+Blind gossip                 0            leader election        VI
+PUSH-PULL                    0            rumor spreading        VI (Cor 6)
+PPUSH                        1            rumor spreading        V
+Bit convergence              1            leader election        VII
+Async bit convergence        log log n    leader election        VIII
+Classical PUSH-PULL          —            baselines (classical   related
+                                          telephone model)       work
+k-gossip (extension)         0            all-to-all gossip      conclusion
+Averaging (extension)        0            data aggregation       conclusion
+Consensus (extension)        log log n    single-value consensus conclusion
+===========================  ===========  =====================  ==========
+"""
+
+from repro.algorithms.blind_gossip import (
+    BlindGossipNode,
+    BlindGossipVectorized,
+    make_blind_gossip_nodes,
+)
+from repro.algorithms.push_pull import (
+    PushPullNode,
+    PushPullVectorized,
+    make_push_pull_nodes,
+)
+from repro.algorithms.ppush import PPushNode, PPushVectorized, make_ppush_nodes
+from repro.algorithms.bit_convergence import (
+    BitConvergenceConfig,
+    BitConvergenceNode,
+    BitConvergenceVectorized,
+    make_bit_convergence_nodes,
+    draw_id_tags,
+)
+from repro.algorithms.async_bit_convergence import (
+    AsyncBitConvergenceNode,
+    AsyncBitConvergenceVectorized,
+    make_async_bit_convergence_nodes,
+    async_tag_length,
+)
+from repro.algorithms.k_gossip import (
+    KGossipNode,
+    KGossipVectorized,
+    make_k_gossip_nodes,
+)
+from repro.algorithms.averaging import (
+    AveragingNode,
+    AveragingVectorized,
+    make_averaging_nodes,
+)
+from repro.algorithms.consensus import ConsensusVectorized
+
+__all__ = [
+    "BlindGossipNode",
+    "BlindGossipVectorized",
+    "make_blind_gossip_nodes",
+    "PushPullNode",
+    "PushPullVectorized",
+    "make_push_pull_nodes",
+    "PPushNode",
+    "PPushVectorized",
+    "make_ppush_nodes",
+    "BitConvergenceConfig",
+    "BitConvergenceNode",
+    "BitConvergenceVectorized",
+    "make_bit_convergence_nodes",
+    "draw_id_tags",
+    "AsyncBitConvergenceNode",
+    "AsyncBitConvergenceVectorized",
+    "make_async_bit_convergence_nodes",
+    "async_tag_length",
+    "KGossipNode",
+    "KGossipVectorized",
+    "make_k_gossip_nodes",
+    "AveragingNode",
+    "AveragingVectorized",
+    "make_averaging_nodes",
+    "ConsensusVectorized",
+]

@@ -1,0 +1,171 @@
+"""Leader-based consensus: a future-work extension.
+
+The paper's conclusion lists *consensus* among the problems the mobile
+telephone model opens, and its introduction motivates leader election
+precisely as the primitive that "simplif[ies] tasks such as event
+ordering, agreement, and synchronization".  This module closes that loop:
+single-value consensus built directly on non-synchronized bit convergence.
+
+Construction: each node proposes a value and attaches it to its ID pair;
+the smallest-pair state that bit convergence already propagates now
+carries ``(tag, UID, proposal)``.  When the network stabilizes on one
+pair, every node's *decision* is the proposal attached to it.
+
+Properties (asserted in the test suite):
+
+* **Agreement** — all decisions equal, since they are read off the unique
+  stabilized pair;
+* **Validity** — the decided value is the winner's original proposal
+  (values are only ever copied, never invented);
+* **Termination** — inherited from Theorem VIII.2's stabilization bound;
+* **Self-stabilization** — state corruption or component merges re-run
+  the underlying convergence (failure-injection tests).
+
+Payload cost: one UID + the k-bit tag + the value per connection — within
+the Section IV budget for polylog-sized values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms._pairs import pair_less, pair_min_inplace
+from repro.algorithms.async_bit_convergence import (
+    AsyncBitConvergenceNode,
+    AsyncBitConvergenceVectorized,
+)
+from repro.algorithms.bit_convergence import BitConvergenceConfig, draw_id_tags
+from repro.core.payload import IDPair, Message, UID
+
+__all__ = ["ConsensusNode", "ConsensusVectorized", "make_consensus_nodes"]
+
+
+class ConsensusNode(AsyncBitConvergenceNode):
+    """Per-node consensus (reference semantics): a value rides the pair.
+
+    ``decision`` returns the value attached to the currently-held smallest
+    pair — meaningful once the underlying election stabilizes.
+    """
+
+    def __init__(self, node_id, uid, id_tag, config, proposal):
+        super().__init__(node_id, uid, id_tag, config)
+        self._carried = proposal
+
+    @property
+    def decision(self):
+        """The value attached to the currently-held pair."""
+        return self._carried
+
+    def compose(self, peer: int) -> Message:
+        base = super().compose(peer)
+        return Message(
+            uids=base.uids,
+            extra_bits=base.extra_bits + 64,
+            data=(base.data, self._carried),
+        )
+
+    def deliver(self, peer: int, message: Message) -> None:
+        data = message.data
+        if not (isinstance(data, tuple) and len(data) == 2):
+            return
+        pair, value = data
+        if isinstance(pair, IDPair) and pair < self._smallest:
+            self._smallest = pair
+            self._carried = value
+
+
+def make_consensus_nodes(
+    uid_space,
+    config: BitConvergenceConfig,
+    proposals,
+    seed: int | None = None,
+    *,
+    unique_tags: bool = False,
+) -> list[ConsensusNode]:
+    """One node per vertex with freshly drawn ID tags and given proposals."""
+    n = len(uid_space)
+    proposals = list(proposals)
+    if len(proposals) != n:
+        raise ValueError("need one proposal per vertex")
+    tags = draw_id_tags(n, config, seed, unique=unique_tags)
+    return [
+        ConsensusNode(v, uid_space.uid_of(v), int(tags[v]), config, proposals[v])
+        for v in range(n)
+    ]
+
+
+class ConsensusVectorized(AsyncBitConvergenceVectorized):
+    """Array-kernel consensus: async bit convergence carrying proposals.
+
+    Parameters
+    ----------
+    uid_keys
+        Simulator-internal UID keys per vertex.
+    config
+        Shared :class:`~repro.algorithms.bit_convergence.BitConvergenceConfig`.
+    proposals
+        One value per vertex (any numeric dtype); the decision is the
+        proposal of the node whose pair wins the election.
+    tag_seed, unique_tags
+        As in the base algorithm.
+    """
+
+    def __init__(
+        self,
+        uid_keys: np.ndarray,
+        config: BitConvergenceConfig,
+        proposals: np.ndarray,
+        *,
+        tag_seed: int | None = None,
+        unique_tags: bool = False,
+    ):
+        super().__init__(
+            uid_keys, config, tag_seed=tag_seed, unique_tags=unique_tags
+        )
+        self._proposals = np.asarray(proposals).copy()
+        if self._proposals.ndim != 1:
+            raise ValueError("proposals must be a 1-D array")
+
+    class State(AsyncBitConvergenceVectorized.State):
+        __slots__ = ("carried",)
+
+        def __init__(self, ctag, ckey, pos, target_tag, target_key, carried=None):
+            super().__init__(ctag, ckey, pos, target_tag, target_key)
+            # ``None`` only transiently, while the base init_state builds
+            # the pair state; init_state below attaches the proposals.
+            self.carried = carried
+
+    def init_state(self, n: int, rng: np.random.Generator):
+        if self._proposals.shape != (n,):
+            raise ValueError("need one proposal per vertex")
+        state = super().init_state(n, rng)  # builds self.State (carried=None)
+        state.carried = self._proposals.copy()
+        return state
+
+    def exchange(self, state, proposers: np.ndarray, acceptors: np.ndarray) -> None:
+        # Carry the attached value alongside the pair: whoever adopts the
+        # other endpoint's (smaller) pair adopts its value too.
+        ptag, pkey = state.ctag[proposers].copy(), state.ckey[proposers].copy()
+        pval = state.carried[proposers].copy()
+        atag, akey = state.ctag[acceptors].copy(), state.ckey[acceptors].copy()
+        aval = state.carried[acceptors].copy()
+
+        adopt_a = pair_less(ptag, pkey, atag, akey)  # acceptors adopting proposers'
+        sel = acceptors[adopt_a]
+        state.ctag[sel] = ptag[adopt_a]
+        state.ckey[sel] = pkey[adopt_a]
+        state.carried[sel] = pval[adopt_a]
+
+        adopt_p = pair_less(atag, akey, ptag, pkey)
+        sel = proposers[adopt_p]
+        state.ctag[sel] = atag[adopt_p]
+        state.ckey[sel] = akey[adopt_p]
+        state.carried[sel] = aval[adopt_p]
+
+    def decisions(self, state) -> np.ndarray:
+        """Current decision per node (meaningful once converged)."""
+        return state.carried
+
+    def decided(self, state) -> bool:
+        """Alias of :meth:`converged` in consensus vocabulary."""
+        return self.converged(state)

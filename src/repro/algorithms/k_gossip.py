@@ -1,0 +1,126 @@
+"""k-gossip (all-to-all rumor spreading): a future-work extension.
+
+The paper's conclusion names gossip among the problems "the model itself
+… can be used to study".  This module implements the natural b=0 gossip
+strategy in the mobile telephone model:
+
+* every node starts with its own rumor;
+* each round every node coin-flips between proposing (to a uniformly
+  random neighbor) and receiving, exactly like blind gossip;
+* a connection carries **one rumor per direction** — each endpoint picks a
+  uniformly random rumor from the set it currently knows (the model's
+  O(1)-rumors-per-connection budget);
+* complete when every node knows all ``n`` rumors.
+
+This is the classic *random-gossip* dissemination process restricted to
+single-connection rounds.  Total rumor copies needed are ``n·(n-1)`` and
+each round moves at most ``n`` rumors (≤ n/2 connections × 2 directions),
+so ``n - 1`` rounds are an immediate lower bound even on a clique; random
+coupon-collector effects and the topology's expansion set the actual
+completion time (experiment E16 measures the scaling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.payload import Message, UID
+from repro.core.protocol import NodeProtocol, RoundView
+from repro.core.vectorized import VectorizedAlgorithm
+
+__all__ = ["KGossipNode", "KGossipVectorized", "make_k_gossip_nodes"]
+
+
+class KGossipNode(NodeProtocol):
+    """Per-node k-gossip state machine (reference semantics).
+
+    Rumors are identified by their origin vertex id; the payload ships one
+    rumor id plus the origin's UID (within the O(1)-UIDs budget).
+    """
+
+    tag_length = 0
+
+    def __init__(self, node_id: int, uid: UID, n: int):
+        super().__init__(node_id, uid)
+        self.known: set[int] = {node_id}
+        self._n = n
+        self._rng = np.random.default_rng(abs(hash((node_id, "kgossip"))) % (2**32))
+
+    @property
+    def complete(self) -> bool:
+        """Whether this node knows every rumor."""
+        return len(self.known) == self._n
+
+    def decide(self, view: RoundView) -> int | None:
+        if view.neighbors.size == 0 or view.rng.random() < 0.5:
+            return None
+        return int(view.neighbors[view.rng.integers(0, view.neighbors.size)])
+
+    def compose(self, peer: int) -> Message:
+        # One uniformly random known rumor per connection direction.
+        pick = int(self._rng.choice(sorted(self.known)))
+        return Message(uids=(self.uid,), extra_bits=0, data=("rumor", pick))
+
+    def deliver(self, peer: int, message: Message) -> None:
+        data = message.data
+        if isinstance(data, tuple) and len(data) == 2 and data[0] == "rumor":
+            self.known.add(int(data[1]))
+
+
+def make_k_gossip_nodes(uid_space) -> list[KGossipNode]:
+    """One node per vertex, each starting with its own rumor."""
+    n = len(uid_space)
+    return [KGossipNode(v, uid_space.uid_of(v), n) for v in range(n)]
+
+
+class KGossipVectorized(VectorizedAlgorithm):
+    """Array-kernel k-gossip for the vectorized engine.
+
+    State is the boolean knowledge matrix ``known[u, r]`` (node ``u``
+    knows rumor ``r``), so memory is ``n²`` bits — fine for the sweep
+    sizes the experiments use.
+    """
+
+    tag_length = 0
+
+    class State:
+        __slots__ = ("known", "rng")
+
+        def __init__(self, known: np.ndarray, rng: np.random.Generator):
+            self.known = known
+            self.rng = rng  # private stream for the per-connection rumor picks
+
+    def init_state(self, n: int, rng: np.random.Generator) -> "KGossipVectorized.State":
+        return self.State(np.eye(n, dtype=bool), rng)
+
+    def tags(self, state, local_rounds, active, rng) -> np.ndarray:
+        return np.zeros(state.known.shape[0], dtype=np.int64)
+
+    def senders(self, state, tags, local_rounds, active, rng) -> np.ndarray:
+        return rng.random(state.known.shape[0]) < 0.5
+
+    @staticmethod
+    def _pick_random_known(known: np.ndarray, rows: np.ndarray, rng) -> np.ndarray:
+        """One uniformly random known rumor id per row of ``rows``."""
+        sub = known[rows]
+        counts = sub.sum(axis=1)
+        # j-th known rumor per row via the cumulative-rank trick.
+        csum = np.cumsum(sub, axis=1)
+        j = rng.integers(0, counts)  # counts >= 1 always (own rumor)
+        # First column where csum > j.
+        return (csum > j[:, None]).argmax(axis=1)
+
+    def exchange(self, state, proposers: np.ndarray, acceptors: np.ndarray) -> None:
+        # Snapshot-free: both picks read pre-exchange knowledge because
+        # the writes touch disjoint (row, column) pairs per connection.
+        from_p = self._pick_random_known(state.known, proposers, state.rng)
+        from_a = self._pick_random_known(state.known, acceptors, state.rng)
+        state.known[acceptors, from_p] = True
+        state.known[proposers, from_a] = True
+
+    def converged(self, state) -> bool:
+        return bool(state.known.all())
+
+    def knowledge_count(self, state) -> int:
+        """Total (node, rumor) pairs known — monotone progress measure."""
+        return int(state.known.sum())

@@ -1,0 +1,45 @@
+"""Analysis tools: expansion, cut matchings, paper bounds, statistics.
+
+These modules quantify the graph parameters the paper's theorems are
+stated in (``α``, ``Δ``, ``γ``), provide the closed-form bound curves, and
+aggregate trial data into the summaries the harness reports.
+"""
+
+from repro.analysis.expansion import (
+    boundary,
+    alpha_of_set,
+    spectral_gap,
+    vertex_expansion,
+    vertex_expansion_exact,
+    vertex_expansion_upper,
+    vertex_expansion_spectral_lower,
+    dynamic_vertex_expansion,
+)
+from repro.analysis.matching import (
+    hopcroft_karp,
+    cut_matching,
+    cut_matching_size,
+    gamma_exact,
+)
+from repro.analysis.statistics import Summary, summarize, loglog_slope, ratio_fit
+from repro.analysis import bounds
+
+__all__ = [
+    "boundary",
+    "alpha_of_set",
+    "spectral_gap",
+    "vertex_expansion",
+    "vertex_expansion_exact",
+    "vertex_expansion_upper",
+    "vertex_expansion_spectral_lower",
+    "dynamic_vertex_expansion",
+    "hopcroft_karp",
+    "cut_matching",
+    "cut_matching_size",
+    "gamma_exact",
+    "Summary",
+    "summarize",
+    "loglog_slope",
+    "ratio_fit",
+    "bounds",
+]

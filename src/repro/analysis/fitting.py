@@ -1,0 +1,106 @@
+"""Fitting measured data against theory curves.
+
+EXPERIMENTS.md compares measurements against the paper's bounds in two
+ways: fitting the unspecified leading constant (``measured ≈ c · bound``)
+and fitting free-exponent power laws (``measured ≈ a · x^b``) with
+bootstrap confidence intervals on the exponent — the quantitative backbone
+of every "the slope is ≈ 2" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import geometric_mean
+from repro.util.rng import make_rng
+
+__all__ = ["PowerLawFit", "fit_constant", "fit_power_law"]
+
+
+def fit_constant(measured: Sequence[float], bound: Sequence[float]) -> float:
+    """Least-squares-in-log constant ``c`` minimizing ``|log(measured) - log(c·bound)|²``.
+
+    This is the geometric mean of the ratios — the natural constant for
+    multiplicative (big-O style) models.
+    """
+    m = np.asarray(list(measured), dtype=np.float64)
+    b = np.asarray(list(bound), dtype=np.float64)
+    if m.shape != b.shape or m.size == 0:
+        raise ValueError("measured and bound must be equal-length, non-empty")
+    if np.any(m <= 0) or np.any(b <= 0):
+        raise ValueError("fit_constant needs positive values")
+    return geometric_mean(m / b)
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of :func:`fit_power_law`.
+
+    ``measured ≈ prefactor · x^exponent``; the confidence interval on the
+    exponent comes from bootstrap resampling of the points.
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+    exponent_ci_low: float
+    exponent_ci_high: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted law at ``x``."""
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    seed: int | None = 0,
+    boot: int = 500,
+) -> PowerLawFit:
+    """Fit ``y = a·x^b`` by least squares in log-log space.
+
+    Returns the exponent, prefactor, R², and a 95% bootstrap CI on the
+    exponent.  Requires at least three positive points (with two the fit
+    is exact and the CI degenerate).
+    """
+    x = np.asarray(list(xs), dtype=np.float64)
+    y = np.asarray(list(ys), dtype=np.float64)
+    if x.shape != y.shape or x.size < 3:
+        raise ValueError("need at least three (x, y) points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit needs positive values")
+    lx, ly = np.log(x), np.log(y)
+
+    def fit(ix: np.ndarray) -> tuple[float, float]:
+        slope, intercept = np.polyfit(lx[ix], ly[ix], 1)
+        return float(slope), float(intercept)
+
+    all_ix = np.arange(x.size)
+    slope, intercept = fit(all_ix)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+
+    rng = make_rng(seed, "power-law-boot")
+    slopes = []
+    for _ in range(boot):
+        ix = rng.integers(0, x.size, size=x.size)
+        if np.unique(lx[ix]).size < 2:
+            continue  # degenerate resample: all the same x
+        slopes.append(fit(ix)[0])
+    if slopes:
+        lo, hi = np.percentile(slopes, [2.5, 97.5])
+    else:  # pragma: no cover - would need pathological duplicate xs
+        lo = hi = slope
+    return PowerLawFit(
+        exponent=slope,
+        prefactor=float(np.exp(intercept)),
+        r_squared=float(r2),
+        exponent_ci_low=float(lo),
+        exponent_ci_high=float(hi),
+    )

@@ -1,0 +1,91 @@
+"""Exact micro-dynamics: closed-form per-round connection probabilities.
+
+The paper's intuition paragraphs compute per-round probabilities of
+specific useful connections ("this occurs with probability ≈ 1/Δ²").
+This module derives the *exact* values for the structured topologies the
+experiments use, so the engines' randomized semantics can be validated
+against pencil-and-paper probability — a much sharper check than
+end-to-end round counts.
+
+All formulas assume the blind gossip / b=0 PUSH-PULL decision rule: each
+node independently sends with probability 1/2 (choosing a uniform random
+neighbor) or receives, and a receiver accepts one incoming proposal
+uniformly at random.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "expected_inverse_one_plus_binomial",
+    "star_hub_accept_probability",
+    "double_star_crossing_probability",
+    "blind_pair_good_probability",
+]
+
+
+def expected_inverse_one_plus_binomial(k: int, p: float) -> float:
+    """``E[1 / (1 + B)]`` for ``B ~ Binomial(k, p)``.
+
+    Closed form ``(1 - (1-p)^{k+1}) / ((k+1)·p)`` (standard identity, by
+    integrating the binomial theorem); ``p = 0`` degenerates to 1.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if p == 0.0:
+        return 1.0
+    return (1.0 - (1.0 - p) ** (k + 1)) / ((k + 1) * p)
+
+
+def star_hub_accept_probability(leaves: int) -> float:
+    """P(a *specific* leaf connects to the hub of a star in one round).
+
+    The leaf must send (1/2; its only neighbor is the hub), the hub must
+    receive (1/2), and the hub must pick this leaf among the other
+    ``leaves - 1`` leaves that each independently sent with probability
+    1/2: the pick succeeds with ``E[1/(1+B)]``, ``B ~ Bin(leaves-1, 1/2)``.
+    """
+    if leaves < 1:
+        raise ValueError("need at least one leaf")
+    return 0.25 * expected_inverse_one_plus_binomial(leaves - 1, 0.5)
+
+
+def double_star_crossing_probability(leaves: int) -> float:
+    """P(the hub-to-hub edge of a double star connects in one round).
+
+    The Δ² bottleneck of Section VI, exactly.  Direction hub-A → hub-B:
+
+    * hub A sends (1/2) and picks hub B among its ``leaves + 1`` neighbors;
+    * hub B receives (1/2);
+    * hub B accepts A's proposal against ``B ~ Bin(leaves, 1/2)`` competing
+      proposals from its own leaves (each leaf's only neighbor is hub B, so
+      a sending leaf always targets it): probability ``E[1/(1+B)]``.
+
+    The two directions are mutually exclusive (a connected hub cannot also
+    connect the other way), so the total is twice the one-direction term.
+    """
+    if leaves < 1:
+        raise ValueError("need at least one leaf per hub")
+    one_way = (
+        0.5
+        * (1.0 / (leaves + 1))
+        * 0.5
+        * expected_inverse_one_plus_binomial(leaves, 0.5)
+    )
+    return 2.0 * one_way
+
+
+def blind_pair_good_probability(deg_u: int, deg_v: int) -> float:
+    """The paper's Definition VI.2 lower bound, exactly: P(edge (u,v) is *good*).
+
+    ``u`` sends (1/2) and picks ``v`` (1/deg(u)); ``v`` receives (1/2) and
+    has ``u`` ranked first in its selection permutation (1/deg(v)).  The
+    paper lower-bounds this by ``1/(4Δ²)``; the exact value is
+    ``1/(4·deg(u)·deg(v))``.
+    """
+    if deg_u < 1 or deg_v < 1:
+        raise ValueError("degrees must be >= 1")
+    return 1.0 / (4.0 * deg_u * deg_v)

@@ -1,0 +1,116 @@
+"""Trial aggregation and scaling-fit statistics for the harness.
+
+The paper states bounds that hold *with high probability* (≥ 1 - 1/n), so
+the natural empirical summary of "rounds to stabilize" over repeated trials
+is a high quantile, not the mean.  This module provides:
+
+* :class:`Summary` — mean / median / quantiles / bootstrap CI of a sample;
+* :func:`loglog_slope` — least-squares slope in log-log space, used to
+  recover empirical scaling exponents (e.g. the ``Δ²`` of Theorem VI.1);
+* :func:`ratio_fit` — normalized measured/bound ratio series used to test
+  whether a bound's *shape* tracks the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["Summary", "summarize", "loglog_slope", "ratio_fit", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of one experimental cell."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    q10: float
+    q90: float
+    max: float
+    #: 95% bootstrap confidence interval on the mean.
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.1f}±[{self.ci_low:.1f},{self.ci_high:.1f}] "
+            f"median={self.median:.1f} q90={self.q90:.1f}"
+        )
+
+
+def summarize(samples: Sequence[float], *, seed: int | None = 0, boot: int = 400) -> Summary:
+    """Summarize a sample with a bootstrap CI on the mean."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if arr.size == 1:
+        v = float(arr[0])
+        return Summary(1, v, 0.0, v, v, v, v, v, v)
+    rng = make_rng(seed, "bootstrap")
+    idx = rng.integers(0, arr.size, size=(boot, arr.size))
+    boot_means = arr[idx].mean(axis=1)
+    lo, hi = np.percentile(boot_means, [2.5, 97.5])
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)),
+        median=float(np.median(arr)),
+        q10=float(np.percentile(arr, 10)),
+        q90=float(np.percentile(arr, 90)),
+        max=float(arr.max()),
+        ci_low=float(lo),
+        ci_high=float(hi),
+    )
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``log y = slope·log x + intercept``.
+
+    Returns ``(slope, r_squared)``.  The slope is the empirical scaling
+    exponent: e.g. measured stabilization rounds growing as ``Δ^2`` yields
+    slope ≈ 2 against ``Δ``.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x = np.log(np.asarray(list(xs), dtype=np.float64))
+        y = np.log(np.asarray(list(ys), dtype=np.float64))
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) points")
+    if np.any(~np.isfinite(x)) or np.any(~np.isfinite(y)):
+        raise ValueError("inputs must be positive and finite")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return float(slope), float(r2)
+
+
+def ratio_fit(measured: Sequence[float], bound: Sequence[float]) -> np.ndarray:
+    """Measured/bound ratios normalized by their geometric mean.
+
+    A bound whose *shape* matches the measurement produces ratios close to
+    1 after normalization; systematic drift reveals a shape mismatch.
+    """
+    m = np.asarray(list(measured), dtype=np.float64)
+    b = np.asarray(list(bound), dtype=np.float64)
+    if m.shape != b.shape or m.size == 0:
+        raise ValueError("measured and bound must be equal-length, non-empty")
+    if np.any(m <= 0) or np.any(b <= 0):
+        raise ValueError("ratios need positive values")
+    r = m / b
+    return r / geometric_mean(r)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(arr))))

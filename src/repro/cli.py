@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments list``
+    Show the experiment registry (ids, claims, profiles).
+``experiments run <ID> [--profile quick|standard] [--save PATH]``
+    Run one experiment and print (optionally save) its table.
+``graph <family> [params…]``
+    Build a graph family and report n, m, Δ, α (best estimate), γ (exact
+    when small), and the spectral lower bound.
+``simulate <algorithm> --family <family> [params…]``
+    Run one seeded leader-election / rumor-spreading execution and print
+    the stabilization round plus a progress sparkline.
+``bounds --n N --alpha A --delta D [--tau T]``
+    Evaluate every closed-form bound from the paper at a parameter point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+#: family name -> (builder arg names, defaults) for CLI construction.
+_FAMILY_ARGS: dict[str, tuple[tuple[str, ...], tuple[int, ...]]] = {
+    "clique": (("n",), (16,)),
+    "path": (("n",), (16,)),
+    "ring": (("n",), (16,)),
+    "star": (("n",), (16,)),
+    "double_star": (("leaves",), (8,)),
+    "line_of_stars": (("stars", "points"), (4, 4)),
+    "binary_tree": (("n",), (15,)),
+    "grid": (("rows", "cols"), (4, 4)),
+    "hypercube": (("dim",), (4,)),
+    "complete_bipartite": (("a", "b"), (4, 4)),
+    "barbell": (("clique_size", "bridge"), (5, 1)),
+    "lollipop": (("clique_size", "tail"), (5, 3)),
+    "wheel": (("n",), (12,)),
+    "torus": (("rows", "cols"), (4, 4)),
+    "caterpillar": (("spine", "legs"), (4, 3)),
+    "staircase_bipartite": (("m",), (8,)),
+    "random_regular": (("n", "d"), (16, 4)),
+    "connected_erdos_renyi": (("n",), (16,)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Leader election in the mobile telephone model "
+        "(reproduction of Newport, IPDPS 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="list or run paper experiments")
+    exp_sub = p_exp.add_subparsers(dest="exp_command", required=True)
+    exp_sub.add_parser("list", help="show the registry")
+    p_run = exp_sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("exp_id", help="experiment id, e.g. E3 or A1")
+    p_run.add_argument("--profile", choices=("quick", "standard"), default="quick")
+    p_run.add_argument("--save", help="write the rendered table to this path")
+    p_verify = exp_sub.add_parser(
+        "verify", help="run one experiment and check its paper-claim shape"
+    )
+    p_verify.add_argument("exp_id", help="experiment id, e.g. E3 or A1")
+    p_verify.add_argument("--profile", choices=("quick", "standard"), default="quick")
+
+    p_graph = sub.add_parser("graph", help="inspect a graph family instance")
+    p_graph.add_argument("family", choices=sorted(_FAMILY_ARGS))
+    p_graph.add_argument("params", nargs="*", type=int, help="family parameters")
+    p_graph.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="run one algorithm execution")
+    p_sim.add_argument(
+        "algorithm",
+        choices=("blind_gossip", "bit_convergence", "async_bit_convergence",
+                 "push_pull", "ppush"),
+    )
+    p_sim.add_argument("--family", choices=sorted(_FAMILY_ARGS), default="random_regular")
+    p_sim.add_argument("--params", nargs="*", type=int, default=None)
+    p_sim.add_argument("--tau", type=float, default=math.inf,
+                       help="stability factor (inf = static topology)")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--max-rounds", type=int, default=1_000_000)
+
+    p_bounds = sub.add_parser("bounds", help="evaluate the paper's bound formulas")
+    p_bounds.add_argument("--n", type=int, required=True)
+    p_bounds.add_argument("--alpha", type=float, required=True)
+    p_bounds.add_argument("--delta", type=int, required=True)
+    p_bounds.add_argument("--tau", type=float, default=1.0)
+
+    p_report = sub.add_parser(
+        "report", help="assemble saved benchmark results into a markdown report"
+    )
+    p_report.add_argument(
+        "--results", default="benchmarks/results", help="directory of saved *.json results"
+    )
+    p_report.add_argument("--output", default="results_report.md")
+    p_report.add_argument("--title", default=None)
+    return parser
+
+
+def _build_family(family: str, params: list[int] | None, seed: int):
+    from repro.graphs import families
+
+    names, defaults = _FAMILY_ARGS[family]
+    values = list(params) if params else list(defaults)
+    if len(values) != len(names):
+        raise SystemExit(
+            f"{family} expects {len(names)} parameter(s) {names}, got {values}"
+        )
+    builder = families.FAMILY_BUILDERS[family]
+    if family == "connected_erdos_renyi":
+        return builder(values[0], 0.3, seed=seed)
+    if family in ("random_regular",):
+        return builder(*values, seed=seed)
+    return builder(*values)
+
+
+def _cmd_experiments_list() -> int:
+    from repro.harness.experiments import EXPERIMENTS
+
+    width = max(len(k) for k in EXPERIMENTS)
+    for exp_id in sorted(EXPERIMENTS, key=lambda k: (k[0] != "E", len(k), k)):
+        print(f"{exp_id.ljust(width)}  {EXPERIMENTS[exp_id].claim}")
+    return 0
+
+
+def _cmd_experiments_run(exp_id: str, profile: str, save: str | None) -> int:
+    from repro.harness.experiments import run_experiment
+
+    table = run_experiment(exp_id.upper(), profile)
+    rendered = table.render()
+    print(rendered)
+    if save:
+        with open(save, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"\nsaved to {save}")
+    return 0
+
+
+def _cmd_experiments_verify(exp_id: str, profile: str) -> int:
+    from repro.harness.experiments import run_experiment
+    from repro.harness.verify import verify_experiment
+
+    table = run_experiment(exp_id.upper(), profile)
+    print(table.render())
+    print()
+    results = verify_experiment(exp_id.upper(), table)
+    for res in results:
+        print(res)
+    failed = [r for r in results if not r.passed]
+    print(
+        f"\n{len(results) - len(failed)}/{len(results)} checks passed"
+        + (f" — {len(failed)} FAILED" if failed else "")
+    )
+    return 1 if failed else 0
+
+
+def _cmd_graph(family: str, params: list[int], seed: int) -> int:
+    from repro.analysis.expansion import (
+        vertex_expansion,
+        vertex_expansion_spectral_lower,
+    )
+    from repro.analysis.matching import gamma_exact
+
+    g = _build_family(family, params or None, seed)
+    print(f"family     : {family}")
+    print(f"n          : {g.n}")
+    print(f"edges      : {g.num_edges}")
+    print(f"max degree : {g.max_degree}")
+    print(f"connected  : {g.is_connected()}")
+    alpha = vertex_expansion(g, seed=seed)
+    kind = "exact" if g.n <= 18 else "sweep upper bound"
+    print(f"alpha      : {alpha:.4g}  ({kind})")
+    print(f"alpha >=   : {vertex_expansion_spectral_lower(g):.4g}  (spectral)")
+    if g.n <= 14:
+        gamma = gamma_exact(g)
+        print(f"gamma      : {gamma:.4g}  (exact; Lemma V.1 floor alpha/4 = {alpha/4:.4g})")
+    return 0
+
+
+def _cmd_simulate(
+    algorithm: str,
+    family: str,
+    params: list[int] | None,
+    tau: float,
+    seed: int,
+    max_rounds: int,
+) -> int:
+    from repro.algorithms import (
+        AsyncBitConvergenceVectorized,
+        BitConvergenceConfig,
+        BitConvergenceVectorized,
+        BlindGossipVectorized,
+        PPushVectorized,
+        PushPullVectorized,
+    )
+    from repro.analysis.progress import SpreadCurve
+    from repro.core.vectorized import VectorizedEngine
+    from repro.graphs.dynamic import PeriodicRelabelDynamicGraph, StaticDynamicGraph
+    from repro.harness.experiments import uid_keys_random
+
+    g = _build_family(family, params, seed)
+    n = g.n
+    keys = uid_keys_random(n, seed)
+    config = BitConvergenceConfig(n_upper=max(n, 2), delta_bound=g.max_degree, beta=1.0)
+    algos = {
+        "blind_gossip": lambda: BlindGossipVectorized(keys),
+        "bit_convergence": lambda: BitConvergenceVectorized(
+            keys, config, tag_seed=seed, unique_tags=True
+        ),
+        "async_bit_convergence": lambda: AsyncBitConvergenceVectorized(
+            keys, config, tag_seed=seed, unique_tags=True
+        ),
+        "push_pull": lambda: PushPullVectorized(np.array([0])),
+        "ppush": lambda: PPushVectorized(np.array([0])),
+    }
+    algo = algos[algorithm]()
+    dg = (
+        StaticDynamicGraph(g)
+        if math.isinf(tau)
+        else PeriodicRelabelDynamicGraph(g, int(tau), seed=seed)
+    )
+    engine = VectorizedEngine(dg, algo, seed=seed)
+    curve = SpreadCurve()
+    progress = getattr(algo, "observable", lambda s: None)
+    for r in range(1, max_rounds + 1):
+        engine.step(r)
+        obs = progress(engine.state)
+        if obs is not None:
+            curve.record(int(np.asarray(obs).sum()))
+        if algo.converged(engine.state):
+            print(f"algorithm  : {algorithm}")
+            print(f"topology   : {family} (n={n}, Delta={g.max_degree}, tau={tau})")
+            print(f"stabilized : round {r}")
+            if len(curve):
+                print(f"progress   : {curve.spark()}")
+            return 0
+    print(f"did not stabilize within {max_rounds} rounds")
+    return 1
+
+
+def _cmd_bounds(n: int, alpha: float, delta: int, tau: float) -> int:
+    from repro.analysis import bounds
+
+    rows = [
+        ("tau_hat = min(tau, log Delta)", bounds.tau_hat(tau, delta)),
+        ("f(tau_hat) = Delta^(1/tau_hat)*tau_hat*log n",
+         bounds.f_approx(bounds.tau_hat(tau, delta), delta, n)),
+        ("Thm VI.1   blind gossip upper", bounds.blind_gossip_upper(n, alpha, delta)),
+        ("Sec VI     blind gossip lower", bounds.blind_gossip_lower(alpha, delta)),
+        ("Cor VI.6   PUSH-PULL upper", bounds.push_pull_upper(n, alpha, delta)),
+        ("Thm VII.2  bit convergence upper",
+         bounds.bit_convergence_upper(n, alpha, delta, tau)),
+        ("Thm VIII.2 async bit convergence upper",
+         bounds.async_bit_convergence_upper(n, alpha, delta, tau)),
+        ("classical PUSH-PULL reference", bounds.classical_push_pull_upper(n, alpha)),
+    ]
+    width = max(len(name) for name, _ in rows)
+    print(f"parameters: n={n} alpha={alpha} Delta={delta} tau={tau}")
+    for name, value in rows:
+        print(f"  {name.ljust(width)} : {value:,.1f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        if args.exp_command == "list":
+            return _cmd_experiments_list()
+        if args.exp_command == "verify":
+            return _cmd_experiments_verify(args.exp_id, args.profile)
+        return _cmd_experiments_run(args.exp_id, args.profile, args.save)
+    if args.command == "graph":
+        return _cmd_graph(args.family, args.params, args.seed)
+    if args.command == "simulate":
+        return _cmd_simulate(
+            args.algorithm, args.family, args.params, args.tau, args.seed,
+            args.max_rounds,
+        )
+    if args.command == "bounds":
+        return _cmd_bounds(args.n, args.alpha, args.delta, args.tau)
+    if args.command == "report":
+        from repro.harness.reporting import write_report
+
+        out = write_report(args.results, args.output, title=args.title)
+        print(f"report written to {out}")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

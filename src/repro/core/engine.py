@@ -1,0 +1,223 @@
+"""Reference round engine for the mobile telephone model.
+
+This engine executes :class:`~repro.core.protocol.NodeProtocol` instances
+with straightforward per-node Python loops, implementing the model of
+paper Section III *literally*:
+
+* the topology of round ``r`` comes from a dynamic graph honouring ``τ``;
+* every active node advertises a ``b``-bit tag, scans (learning active
+  neighbors and their tags), then proposes to one neighbor or listens;
+* a node that proposed cannot accept; a listening node with incoming
+  proposals accepts exactly one chosen uniformly at random;
+* each connected pair exchanges one budget-checked message per direction;
+* nodes may activate at different rounds (Section VIII); inactive nodes
+  are invisible to the scan and cannot be proposed to.
+
+The engine is the semantic ground truth: the vectorized engine
+(:mod:`repro.core.vectorized`) is cross-validated against it.  Use this
+one for clarity and invariants, the vectorized one for parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.payload import Message, PayloadBudget
+from repro.core.protocol import NodeProtocol, RoundView
+from repro.core.trace import RoundRecord, RunResult, Trace
+from repro.graphs.dynamic import DynamicGraph
+from repro.util.rng import make_rng, spawn_rngs
+
+__all__ = ["ReferenceEngine", "ModelViolation"]
+
+
+class ModelViolation(RuntimeError):
+    """A protocol broke a rule of the mobile telephone model."""
+
+
+class ReferenceEngine:
+    """Executes node protocols over a dynamic graph, round by round.
+
+    Parameters
+    ----------
+    dynamic_graph
+        Topology source (must stay connected; ``τ`` contract assumed).
+    protocols
+        One protocol per vertex, index-aligned.
+    seed
+        Root seed; node and engine streams are derived from it.
+    activation_rounds
+        1-indexed activation round per node (default: all activate in
+        round 1).  A node participates from its activation round onward.
+    budget
+        Per-connection payload budget (default: the Section IV budget for
+        ``N = n``).
+    collect_trace
+        Record a full :class:`~repro.core.trace.Trace` (slower).
+    """
+
+    def __init__(
+        self,
+        dynamic_graph: DynamicGraph,
+        protocols: Sequence[NodeProtocol],
+        *,
+        seed: int | None = None,
+        activation_rounds: Sequence[int] | None = None,
+        budget: PayloadBudget | None = None,
+        collect_trace: bool = False,
+    ):
+        n = dynamic_graph.n
+        if len(protocols) != n:
+            raise ValueError(f"need {n} protocols, got {len(protocols)}")
+        self.dg = dynamic_graph
+        self.protocols = list(protocols)
+        self.n = n
+        self.budget = budget or PayloadBudget(n_upper=max(n, 2))
+        if activation_rounds is None:
+            self.activation = np.ones(n, dtype=np.int64)
+        else:
+            self.activation = np.asarray(activation_rounds, dtype=np.int64)
+            if self.activation.shape != (n,) or self.activation.min() < 1:
+                raise ValueError("activation_rounds must be n 1-indexed rounds")
+        self._node_rngs = spawn_rngs(seed, n, "node")
+        self._engine_rng = make_rng(seed, "engine")
+        self.trace = Trace() if collect_trace else None
+        self.rounds_executed = 0
+        #: Cumulative connections established (2 messages each).
+        self.connections_made = 0
+
+    # -- single round -------------------------------------------------------
+
+    def _tag_width_ok(self, proto: NodeProtocol, tag: int) -> bool:
+        if proto.tag_length == 0:
+            return tag == 0
+        return 0 <= tag < (1 << proto.tag_length)
+
+    def step(self, r: int) -> None:
+        """Execute global round ``r`` (1-indexed)."""
+        from repro.core.protocol import RumorProtocol
+        from repro.graphs.adversary import AdaptiveDynamicGraph
+
+        if isinstance(self.dg, AdaptiveDynamicGraph):
+            # The reference engine exposes the informed mask for rumor
+            # protocols; other protocols expose nothing.
+            obs = None
+            if all(isinstance(p, RumorProtocol) for p in self.protocols):
+                obs = np.array([p.informed for p in self.protocols], dtype=bool)
+            self.dg.observe(r, obs)
+        graph = self.dg.graph_at(r)
+        active = self.activation <= r
+        tags = np.full(self.n, -1, dtype=np.int64)
+
+        # 1. Tag selection happens before the scan (paper Section III).
+        for u in np.flatnonzero(active):
+            proto = self.protocols[u]
+            local_round = int(r - self.activation[u] + 1)
+            tag = proto.choose_tag(local_round, self._node_rngs[u])
+            if not self._tag_width_ok(proto, tag):
+                raise ModelViolation(
+                    f"node {u} advertised tag {tag} outside {proto.tag_length} bits"
+                )
+            tags[u] = tag
+
+        # 2-3. Scan and decide.
+        proposals: list[tuple[int, int]] = []
+        proposed = np.zeros(self.n, dtype=bool)
+        for u in np.flatnonzero(active):
+            proto = self.protocols[u]
+            nbrs = graph.neighbors(int(u))
+            nbrs = nbrs[active[nbrs]]
+            view = RoundView(
+                local_round=int(r - self.activation[u] + 1),
+                neighbors=nbrs,
+                neighbor_tags=tags[nbrs],
+                rng=self._node_rngs[u],
+            )
+            target = proto.decide(view)
+            if target is None:
+                continue
+            target = int(target)
+            if nbrs.size == 0 or target not in set(int(x) for x in nbrs):
+                raise ModelViolation(
+                    f"node {u} proposed to {target}, not an active neighbor in round {r}"
+                )
+            proposals.append((int(u), target))
+            proposed[u] = True
+
+        # 4. Acceptance: a proposer cannot receive; listeners accept one
+        #    incoming proposal uniformly at random.
+        incoming: dict[int, list[int]] = {}
+        for s, t in proposals:
+            if not proposed[t]:
+                incoming.setdefault(t, []).append(s)
+        connections: list[tuple[int, int]] = []
+        for t in sorted(incoming):
+            senders = incoming[t]
+            pick = senders[int(self._engine_rng.integers(0, len(senders)))]
+            connections.append((pick, t))
+
+        # 5. Bounded symmetric exchange per connection.
+        self.connections_made += len(connections)
+        for s, t in connections:
+            msg_s = self.protocols[s].compose(t)
+            msg_t = self.protocols[t].compose(s)
+            for m, owner in ((msg_s, s), (msg_t, t)):
+                if not isinstance(m, Message):
+                    raise ModelViolation(f"node {owner} composed a non-Message")
+                self.budget.validate(m)
+            self.protocols[s].deliver(t, msg_t)
+            self.protocols[t].deliver(s, msg_s)
+
+        # 6. Round end hooks.
+        for u in np.flatnonzero(active):
+            self.protocols[u].end_round()
+
+        if self.trace is not None:
+            self.trace.append(
+                RoundRecord(
+                    round_index=r,
+                    proposals=np.asarray(proposals, dtype=np.int64).reshape(-1, 2),
+                    connections=np.asarray(connections, dtype=np.int64).reshape(-1, 2),
+                    tags=tags.copy(),
+                    active=active.copy(),
+                )
+            )
+
+    # -- full runs ------------------------------------------------------------
+
+    def run(
+        self,
+        max_rounds: int,
+        stop_when: Callable[[list[NodeProtocol]], bool],
+        *,
+        check_every: int = 1,
+    ) -> RunResult:
+        """Run until ``stop_when(protocols)`` or ``max_rounds``.
+
+        The predicate must describe an *absorbing* condition of the
+        algorithm (e.g. every node holds the eventual leader) so that
+        checking it every ``check_every`` rounds cannot miss stabilization
+        permanently — it only quantizes the reported round count.
+        """
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        last_activation = int(self.activation.max())
+        for r in range(1, max_rounds + 1):
+            self.step(r)
+            self.rounds_executed = r
+            if r % check_every == 0 and stop_when(self.protocols):
+                return RunResult(
+                    stabilized=True,
+                    rounds=r,
+                    rounds_after_last_activation=max(0, r - last_activation + 1),
+                    trace=self.trace,
+                )
+        stabilized = stop_when(self.protocols)
+        return RunResult(
+            stabilized=stabilized,
+            rounds=max_rounds,
+            rounds_after_last_activation=max(0, max_rounds - last_activation + 1),
+            trace=self.trace,
+        )

@@ -1,0 +1,52 @@
+"""Stabilization predicates for engine runs.
+
+The problem definition (paper Section IV) calls the system *stabilized* at
+round ``r`` when from ``r`` on every node's ``leader`` variable holds the
+same UID forever.  Simulations cannot check "forever" directly, so each
+predicate here is an **absorbing** condition of the algorithm it serves:
+once true it provably stays true (the underlying quantity — minimum UID
+seen, smallest ID pair — is monotone), so observing it once certifies
+stabilization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.payload import UID
+from repro.core.protocol import LeaderElectionProtocol, RumorProtocol
+
+__all__ = [
+    "all_leaders_are",
+    "all_leaders_equal",
+    "rumor_complete",
+]
+
+
+def all_leaders_are(winner: UID):
+    """Predicate: every node's ``leader`` equals the known eventual winner.
+
+    For min-UID algorithms the winner is the global minimum UID, and "all
+    hold the minimum" is absorbing because nodes only ever adopt smaller
+    candidates.
+    """
+
+    def predicate(protocols: Sequence[LeaderElectionProtocol]) -> bool:
+        return all(p.leader == winner for p in protocols)
+
+    return predicate
+
+
+def all_leaders_equal(protocols: Sequence[LeaderElectionProtocol]) -> bool:
+    """All ``leader`` variables currently agree (not necessarily absorbing).
+
+    Useful for inspecting transient agreement; stabilization checks should
+    prefer :func:`all_leaders_are`.
+    """
+    first = protocols[0].leader
+    return all(p.leader == first for p in protocols)
+
+
+def rumor_complete(protocols: Sequence[RumorProtocol]) -> bool:
+    """Every node knows the rumor (absorbing: knowledge is never lost)."""
+    return all(p.informed for p in protocols)

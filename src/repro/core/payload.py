@@ -1,0 +1,159 @@
+"""UIDs, ID pairs, and connection payload accounting.
+
+The leader election problem (paper Section IV) treats UIDs as *comparable
+black boxes*: algorithms may compare two UIDs and ship them through
+connections, but may not inspect their encoding.  :class:`UID` enforces
+this — it supports ordering and equality only, and :class:`UIDSpace` mints
+UIDs whose hidden keys are randomly permuted so nothing can be inferred
+from vertex indices.
+
+A connection may carry at most ``O(1)`` UIDs and ``O(polylog N)`` extra
+bits per round; :class:`Message` declares its contents and
+:class:`PayloadBudget` enforces the limits at the engine boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import total_ordering
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["UID", "UIDSpace", "IDPair", "Message", "PayloadBudget", "BudgetExceeded"]
+
+
+@total_ordering
+class UID:
+    """Opaque, totally-ordered unique identifier.
+
+    Only comparison (and hashing, for bookkeeping) is exposed; the hidden
+    key is inaccessible to algorithm code by convention and shielded from
+    accidental use by the underscore API.  The simulator's trusted
+    components (engines, monitors) may read :attr:`_key` to check results.
+    """
+
+    __slots__ = ("_key",)
+
+    def __init__(self, key: int):
+        self._key = int(key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UID):
+            return NotImplemented
+        return self._key == other._key
+
+    def __lt__(self, other: "UID") -> bool:
+        if not isinstance(other, UID):
+            return NotImplemented
+        return self._key < other._key
+
+    def __hash__(self) -> int:
+        return hash(("UID", self._key))
+
+    def __repr__(self) -> str:
+        return f"UID(#{self._key})"
+
+
+class UIDSpace:
+    """Mints the UIDs of a network, hiding any vertex-index correlation.
+
+    The ``n`` UIDs are backed by a random permutation of ``0..n-1`` (scaled
+    into a sparse key space), so vertex 0 is *not* systematically the
+    smallest — algorithms must genuinely elect rather than exploit layout.
+    """
+
+    def __init__(self, n: int, seed: int | None = None):
+        if n < 1:
+            raise ValueError("need at least one UID")
+        rng = make_rng(seed, "uid-space")
+        # Sparse keys: random distinct values, then shuffled across vertices.
+        keys = rng.choice(np.arange(10 * n, dtype=np.int64), size=n, replace=False)
+        self._keys = keys
+        self._uids = [UID(int(k)) for k in keys]
+
+    def __len__(self) -> int:
+        return len(self._uids)
+
+    def uid_of(self, vertex: int) -> UID:
+        """The UID assigned to ``vertex``."""
+        return self._uids[vertex]
+
+    def all_uids(self) -> list[UID]:
+        """UIDs indexed by vertex."""
+        return list(self._uids)
+
+    def winner_vertex(self) -> int:
+        """Vertex holding the minimum UID (the eventual leader)."""
+        return int(np.argmin(self._keys))
+
+    def min_uid(self) -> UID:
+        """The smallest UID in the network."""
+        return self._uids[self.winner_vertex()]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IDPair:
+    """An ``(UID, tag)`` pair as used by bit convergence (Section VII).
+
+    Ordered by tag first, breaking ties by UID — exactly the paper's rule
+    for choosing the *smallest ID pair*.
+    """
+
+    uid: UID
+    tag: int
+
+    def __lt__(self, other: "IDPair") -> bool:
+        if not isinstance(other, IDPair):
+            return NotImplemented
+        return (self.tag, self.uid) < (other.tag, other.uid)
+
+
+@dataclass(frozen=True)
+class Message:
+    """Contents shipped over one connection, with declared extra bits.
+
+    ``uids`` counts against the per-connection UID budget; ``extra_bits``
+    declares the size of everything else (tags, counters).  ``data`` is the
+    semantic payload interpreted by the receiving protocol.
+    """
+
+    uids: tuple[UID, ...] = ()
+    extra_bits: int = 0
+    data: object = None
+
+
+class BudgetExceeded(ValueError):
+    """A message exceeded the per-connection communication budget."""
+
+
+@dataclass(frozen=True)
+class PayloadBudget:
+    """Per-connection budget: ``max_uids`` UIDs + ``c·log^κ N`` extra bits."""
+
+    n_upper: int
+    max_uids: int = 4
+    polylog_power: int = 2
+    polylog_constant: float = 8.0
+
+    @property
+    def max_extra_bits(self) -> int:
+        """Extra-bit allowance ``c · (log N)^κ``."""
+        logn = max(1.0, math.log2(max(self.n_upper, 2)))
+        return int(math.ceil(self.polylog_constant * logn**self.polylog_power))
+
+    def validate(self, message: Message) -> None:
+        """Raise :class:`BudgetExceeded` if ``message`` is over budget."""
+        if len(message.uids) > self.max_uids:
+            raise BudgetExceeded(
+                f"message carries {len(message.uids)} UIDs, budget is {self.max_uids}"
+            )
+        if message.extra_bits > self.max_extra_bits:
+            raise BudgetExceeded(
+                f"message declares {message.extra_bits} extra bits, "
+                f"budget is {self.max_extra_bits}"
+            )

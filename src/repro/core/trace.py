@@ -1,0 +1,120 @@
+"""Execution traces and per-round metrics.
+
+Traces exist for three consumers: tests asserting model invariants (each
+node in at most one connection per round, proposals only along current
+edges), experiments measuring progress quantities (connections across a
+cut per round), and debugging.  Tracing is opt-in; the engines skip all
+record-keeping when no trace is attached, keeping the hot path lean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "Trace", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything observable about one simulated round.
+
+    Attributes
+    ----------
+    round_index
+        Global 1-indexed round number.
+    proposals
+        ``(k, 2)`` array of ``(sender, target)`` proposals issued.
+    connections
+        ``(c, 2)`` array of ``(sender, receiver)`` established connections.
+    tags
+        Advertised tag per node (-1 for inactive nodes).
+    active
+        Boolean activation mask for the round.
+    """
+
+    round_index: int
+    proposals: np.ndarray
+    connections: np.ndarray
+    tags: np.ndarray
+    active: np.ndarray
+
+
+class Trace:
+    """An append-only list of :class:`RoundRecord` with convenience queries."""
+
+    def __init__(self) -> None:
+        self.rounds: list[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def connections_at(self, round_index: int) -> np.ndarray:
+        """Connections of a given 1-indexed round."""
+        return self.rounds[round_index - 1].connections
+
+    def total_connections(self) -> int:
+        """Total connections established over the whole run."""
+        return int(sum(r.connections.shape[0] for r in self.rounds))
+
+    def connections_per_round(self) -> np.ndarray:
+        """Connection count per recorded round."""
+        return np.array([r.connections.shape[0] for r in self.rounds], dtype=np.int64)
+
+    def proposals_per_round(self) -> np.ndarray:
+        """Proposal count per recorded round."""
+        return np.array([r.proposals.shape[0] for r in self.rounds], dtype=np.int64)
+
+    def cut_connections(self, in_set: np.ndarray) -> np.ndarray:
+        """Per-round count of connections crossing the cut ``in_set``.
+
+        ``in_set`` is a boolean mask over nodes; a crossing connection has
+        exactly one endpoint inside.  This is the per-round realization of
+        the paper's ν(B(S)) capacity argument.
+        """
+        in_set = np.asarray(in_set, dtype=bool)
+        out = np.zeros(len(self.rounds), dtype=np.int64)
+        for i, rec in enumerate(self.rounds):
+            if rec.connections.size:
+                a = in_set[rec.connections[:, 0]]
+                b = in_set[rec.connections[:, 1]]
+                out[i] = int((a ^ b).sum())
+        return out
+
+    def connection_participants_ok(self) -> bool:
+        """Model invariant: every node joins at most one connection per round."""
+        for rec in self.rounds:
+            if rec.connections.size == 0:
+                continue
+            flat = rec.connections.ravel()
+            if np.unique(flat).size != flat.size:
+                return False
+        return True
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run.
+
+    Attributes
+    ----------
+    stabilized
+        Whether the stop predicate was satisfied within the horizon.
+    rounds
+        Rounds executed until stabilization (or the horizon if not).
+    rounds_after_last_activation
+        Same, counted from the last node's activation round — the metric
+        Theorem VIII.2 is stated in.  Equals ``rounds`` for synchronized
+        starts.
+    trace
+        Optional attached :class:`Trace`.
+    """
+
+    stabilized: bool
+    rounds: int
+    rounds_after_last_activation: int
+    trace: Trace | None = None

@@ -1,0 +1,217 @@
+"""Vectorized round engine for parameter sweeps.
+
+Semantically identical to :class:`~repro.core.engine.ReferenceEngine` but
+the round is executed as a handful of NumPy array operations (the
+profiling-guided optimization of the per-node loops):
+
+1. the algorithm produces per-node tags and a sender mask;
+2. :func:`~repro.util.csrops.segmented_random_pick` chooses each sender's
+   proposal target uniformly among its eligible neighbors;
+3. proposals to nodes that themselves (effectively) proposed are dropped —
+   a proposer cannot receive;
+4. :func:`~repro.util.csrops.segmented_uniform_accept` has each remaining
+   target accept one proposal uniformly at random;
+5. the algorithm applies the state exchange for the connected pairs.
+
+Algorithms plug in via :class:`VectorizedAlgorithm`, operating on a state
+object of NumPy arrays.  Each algorithm in :mod:`repro.algorithms` ships
+both a per-node protocol (reference semantics) and one of these kernels;
+the test suite cross-validates the two statistically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.trace import RunResult
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.static import Graph
+from repro.util.csrops import segmented_random_pick, segmented_uniform_accept
+from repro.util.rng import make_rng
+
+__all__ = ["VectorizedAlgorithm", "VectorizedEngine"]
+
+
+class VectorizedAlgorithm(ABC):
+    """Array-kernel form of an algorithm for :class:`VectorizedEngine`.
+
+    State is an algorithm-owned object (typically a small namespace of
+    NumPy arrays); the engine threads it through the hooks below.
+    """
+
+    #: Advertising tag length ``b`` this algorithm requires.
+    tag_length: int = 0
+
+    @abstractmethod
+    def init_state(self, n: int, rng: np.random.Generator) -> object:
+        """Initial per-network state for ``n`` nodes."""
+
+    @abstractmethod
+    def tags(
+        self,
+        state: object,
+        local_rounds: np.ndarray,
+        active: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Advertised tag per node (ignored entries for inactive nodes)."""
+
+    @abstractmethod
+    def senders(
+        self,
+        state: object,
+        tags: np.ndarray,
+        local_rounds: np.ndarray,
+        active: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Boolean mask of nodes that attempt to send a proposal."""
+
+    def eligible_flat(
+        self,
+        state: object,
+        tags: np.ndarray,
+        graph: Graph,
+        sender_mask: np.ndarray,
+        local_rounds: np.ndarray,
+    ) -> np.ndarray | None:
+        """Optional per-CSR-entry eligibility mask for proposal targets.
+
+        ``None`` means senders choose uniformly among all (active)
+        neighbors.  Entry ``i`` of the returned array corresponds to the
+        CSR entry ``graph.indices[i]`` in the row of its source vertex.
+        """
+        return None
+
+    @abstractmethod
+    def exchange(
+        self, state: object, proposers: np.ndarray, acceptors: np.ndarray
+    ) -> None:
+        """Apply the symmetric message exchange for the connected pairs."""
+
+    def end_round(
+        self,
+        state: object,
+        round_index: int,
+        local_rounds: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        """Hook after connections (phase-boundary state transitions)."""
+
+    @abstractmethod
+    def converged(self, state: object) -> bool:
+        """Absorbing stabilization predicate over the current state."""
+
+    def observable(self, state: object) -> object | None:
+        """What an adaptive adversary may observe each round.
+
+        Spreading-type algorithms return their boolean progress mask (the
+        informed set, or "holds the eventual winner"); ``None`` exposes
+        nothing.  Consumed by
+        :class:`repro.graphs.adversary.AdaptiveDynamicGraph`.
+        """
+        return None
+
+
+class VectorizedEngine:
+    """Runs a :class:`VectorizedAlgorithm` over a dynamic graph."""
+
+    def __init__(
+        self,
+        dynamic_graph: DynamicGraph,
+        algorithm: VectorizedAlgorithm,
+        *,
+        seed: int | None = None,
+        activation_rounds: Sequence[int] | np.ndarray | None = None,
+    ):
+        self.dg = dynamic_graph
+        self.algo = algorithm
+        self.n = dynamic_graph.n
+        if activation_rounds is None:
+            self.activation = np.ones(self.n, dtype=np.int64)
+        else:
+            self.activation = np.asarray(activation_rounds, dtype=np.int64)
+            if self.activation.shape != (self.n,) or self.activation.min() < 1:
+                raise ValueError("activation_rounds must be n 1-indexed rounds")
+        self._rng = make_rng(seed, "vec-engine")
+        self.state = self.algo.init_state(self.n, make_rng(seed, "vec-init"))
+        self.rounds_executed = 0
+        #: Cumulative connections established (2 messages each; the
+        #: model's communication-cost unit for experiments like E15).
+        self.connections_made = 0
+        # Per-round connection callback, used by instrumented experiments
+        # (e.g. counting cut-crossing connections in the PPUSH experiment).
+        self.on_connections: Callable[[int, np.ndarray, np.ndarray], None] | None = None
+
+    def step(self, r: int) -> None:
+        """Execute global round ``r`` (1-indexed)."""
+        from repro.graphs.adversary import AdaptiveDynamicGraph
+
+        if isinstance(self.dg, AdaptiveDynamicGraph):
+            self.dg.observe(r, self.algo.observable(self.state))
+        graph = self.dg.graph_at(r)
+        active = self.activation <= r
+        local_rounds = np.maximum(r - self.activation + 1, 0)
+        rng = self._rng
+
+        tags = self.algo.tags(self.state, local_rounds, active, rng)
+        sender_mask = (
+            self.algo.senders(self.state, tags, local_rounds, active, rng) & active
+        )
+
+        # Eligibility: target must be active; algorithms may restrict further.
+        flat = active[graph.indices]
+        algo_flat = self.algo.eligible_flat(
+            self.state, tags, graph, sender_mask, local_rounds
+        )
+        if algo_flat is not None:
+            flat = flat & algo_flat
+
+        picks = segmented_random_pick(
+            graph.indptr, graph.indices, rng, active=sender_mask, flat_mask=flat
+        )
+        effective = picks >= 0  # senders that actually issued a proposal
+        proposers = np.flatnonzero(effective)
+        targets = picks[proposers]
+
+        # A node that issued a proposal cannot receive one.
+        keep = ~effective[targets]
+        proposers, targets = proposers[keep], targets[keep]
+
+        accepted = segmented_uniform_accept(proposers, targets, self.n, rng)
+        acceptors = np.flatnonzero(accepted >= 0)
+        winners = accepted[acceptors]
+
+        if acceptors.size:
+            self.connections_made += int(acceptors.size)
+            self.algo.exchange(self.state, winners, acceptors)
+            if self.on_connections is not None:
+                self.on_connections(r, winners, acceptors)
+        elif self.on_connections is not None:
+            empty = np.empty(0, dtype=np.int64)
+            self.on_connections(r, empty, empty)
+
+        self.algo.end_round(self.state, r, local_rounds, active)
+
+    def run(self, max_rounds: int, *, check_every: int = 1) -> RunResult:
+        """Run until the algorithm's convergence predicate or ``max_rounds``."""
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        last_activation = int(self.activation.max())
+        for r in range(1, max_rounds + 1):
+            self.step(r)
+            self.rounds_executed = r
+            if r % check_every == 0 and self.algo.converged(self.state):
+                return RunResult(
+                    stabilized=True,
+                    rounds=r,
+                    rounds_after_last_activation=max(0, r - last_activation + 1),
+                )
+        return RunResult(
+            stabilized=self.algo.converged(self.state),
+            rounds=max_rounds,
+            rounds_after_last_activation=max(0, max_rounds - last_activation + 1),
+        )

@@ -1,0 +1,49 @@
+"""Network topologies: static graphs, generator families, dynamic graphs.
+
+The mobile telephone model describes the topology of each round with a
+connected undirected graph; a dynamic graph is a round-indexed sequence of
+such graphs obeying a stability contract (at least ``τ`` rounds between
+changes).  This subpackage provides:
+
+* :class:`~repro.graphs.static.Graph` — immutable CSR-backed static graph;
+* :mod:`~repro.graphs.families` — the graph families the paper reasons
+  about, including its explicit lower-bound construction
+  (:func:`~repro.graphs.families.line_of_stars`);
+* :mod:`~repro.graphs.dynamic` — dynamic-graph generators with
+  ``τ``-enforcement;
+* :mod:`~repro.graphs.mobility` — random-waypoint mobility;
+* :mod:`~repro.graphs.validation` — contract checkers.
+"""
+
+from repro.graphs.static import Graph
+from repro.graphs.dynamic import (
+    DynamicGraph,
+    StaticDynamicGraph,
+    ScheduleDynamicGraph,
+    PeriodicRelabelDynamicGraph,
+    ResampleDynamicGraph,
+)
+from repro.graphs.adversary import AdaptiveDynamicGraph, PackingAdversary
+from repro.graphs.mobility import (
+    GroupWaypointDynamicGraph,
+    RandomWaypointDynamicGraph,
+    unit_disk_graph,
+)
+from repro.graphs import families
+from repro.graphs import validation
+
+__all__ = [
+    "Graph",
+    "DynamicGraph",
+    "StaticDynamicGraph",
+    "ScheduleDynamicGraph",
+    "PeriodicRelabelDynamicGraph",
+    "ResampleDynamicGraph",
+    "AdaptiveDynamicGraph",
+    "PackingAdversary",
+    "RandomWaypointDynamicGraph",
+    "GroupWaypointDynamicGraph",
+    "unit_disk_graph",
+    "families",
+    "validation",
+]

@@ -1,0 +1,223 @@
+"""Dynamic graphs: round-indexed topology sequences with a stability contract.
+
+Formally (paper Section II) a dynamic graph is a sequence ``G_1, G_2, …``
+of static graphs over a fixed vertex set, where ``G_r`` is the topology in
+round ``r`` (rounds are 1-indexed, as in the paper).  The *stability
+factor* ``τ ≥ 1`` requires at least ``τ`` rounds between topology changes;
+``τ = ∞`` (``math.inf``) means the graph never changes.
+
+All implementations here are **deterministic functions of the round
+number** (given their seed), so ``graph_at`` may be called out of order and
+repeatedly — a property the engines, the validators, and the test suite all
+rely on.
+
+The paper's algorithms require *no advance knowledge of τ*; the ``tau``
+attribute exists for generators and validators, never for algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.graphs.static import Graph
+from repro.util.rng import make_rng
+
+__all__ = [
+    "DynamicGraph",
+    "StaticDynamicGraph",
+    "ScheduleDynamicGraph",
+    "PeriodicRelabelDynamicGraph",
+    "ResampleDynamicGraph",
+    "epoch_of_round",
+    "first_round_of_epoch",
+]
+
+
+def epoch_of_round(r: int, tau: float) -> int:
+    """Epoch index (0-based) containing 1-indexed round ``r``.
+
+    An epoch is a maximal stretch of rounds with the same topology; epoch
+    ``e`` covers rounds ``e·τ + 1 … (e+1)·τ``.
+    """
+    if r < 1:
+        raise ValueError(f"rounds are 1-indexed, got {r}")
+    if math.isinf(tau):
+        return 0
+    return (r - 1) // int(tau)
+
+
+def first_round_of_epoch(e: int, tau: float) -> int:
+    """First 1-indexed round of epoch ``e``."""
+    if math.isinf(tau):
+        if e != 0:
+            raise ValueError("a static dynamic graph has a single epoch")
+        return 1
+    return e * int(tau) + 1
+
+
+class DynamicGraph(ABC):
+    """Round-indexed sequence of connected static graphs on ``n`` vertices."""
+
+    #: Declared minimum stability between changes (``math.inf`` if static).
+    tau: float
+    #: Number of vertices (constant over the whole sequence).
+    n: int
+
+    @abstractmethod
+    def graph_at(self, r: int) -> Graph:
+        """Topology of 1-indexed round ``r`` (deterministic in ``r``)."""
+
+    def max_degree(self, horizon: int) -> int:
+        """Maximum degree Δ over rounds ``1..horizon``.
+
+        The default implementation inspects one round per epoch; subclasses
+        with a known constant Δ override this.
+        """
+        if math.isinf(self.tau):
+            return self.graph_at(1).max_degree
+        step = int(self.tau)
+        return max(
+            self.graph_at(r).max_degree for r in range(1, horizon + 1, step)
+        )
+
+    def epochs_in(self, horizon: int) -> int:
+        """Number of distinct epochs intersecting rounds ``1..horizon``."""
+        if math.isinf(self.tau):
+            return 1
+        return epoch_of_round(horizon, self.tau) + 1
+
+
+class StaticDynamicGraph(DynamicGraph):
+    """A never-changing topology (``τ = ∞``)."""
+
+    def __init__(self, graph: Graph):
+        if not graph.is_connected():
+            raise ValueError("topology must be connected")
+        self._graph = graph
+        self.n = graph.n
+        self.tau = math.inf
+
+    def graph_at(self, r: int) -> Graph:
+        if r < 1:
+            raise ValueError(f"rounds are 1-indexed, got {r}")
+        return self._graph
+
+    def max_degree(self, horizon: int) -> int:
+        return self._graph.max_degree
+
+
+class ScheduleDynamicGraph(DynamicGraph):
+    """An explicit list of epoch graphs, each held for ``τ`` rounds.
+
+    After the last scheduled epoch the sequence either cycles
+    (``cycle=True``) or holds the final graph forever.
+    """
+
+    def __init__(self, graphs: Sequence[Graph], tau: int, *, cycle: bool = False):
+        if not graphs:
+            raise ValueError("need at least one graph")
+        if tau < 1:
+            raise ValueError("tau must be >= 1")
+        n = graphs[0].n
+        for g in graphs:
+            if g.n != n:
+                raise ValueError("all graphs must share the vertex set")
+            if not g.is_connected():
+                raise ValueError("every topology must be connected")
+        self._graphs = list(graphs)
+        self._cycle = cycle
+        self.n = n
+        self.tau = tau
+
+    def graph_at(self, r: int) -> Graph:
+        e = epoch_of_round(r, self.tau)
+        if self._cycle:
+            return self._graphs[e % len(self._graphs)]
+        return self._graphs[min(e, len(self._graphs) - 1)]
+
+
+class PeriodicRelabelDynamicGraph(DynamicGraph):
+    """Adversarial isomorphic churn: relabel a base graph every ``τ`` rounds.
+
+    Each epoch applies a fresh uniform permutation to the base graph's
+    vertex labels.  This preserves ``α`` and ``Δ`` *exactly* (the theorems'
+    parameters stay fixed) while scattering any algorithmic structure tied
+    to vertex position — the harshest oblivious churn consistent with fixed
+    ``(α, Δ)``.  With ``τ = 1`` this realizes the paper's "topology can
+    change arbitrarily in every round" regime.
+    """
+
+    def __init__(self, base: Graph, tau: int, seed: int | None = None):
+        if tau < 1:
+            raise ValueError("tau must be >= 1")
+        if not base.is_connected():
+            raise ValueError("topology must be connected")
+        self._base = base
+        self._seed = seed
+        self.n = base.n
+        self.tau = tau
+        self._cache: dict[int, Graph] = {}
+
+    def graph_at(self, r: int) -> Graph:
+        e = epoch_of_round(r, self.tau)
+        g = self._cache.get(e)
+        if g is None:
+            rng = make_rng(self._seed, "relabel-epoch", e)
+            g = self._base.relabel(rng.permutation(self.n))
+            if len(self._cache) > 4096:
+                self._cache.clear()
+            self._cache[e] = g
+        return g
+
+    def max_degree(self, horizon: int) -> int:
+        return self._base.max_degree
+
+
+class ResampleDynamicGraph(DynamicGraph):
+    """Resample a fresh graph from a family each epoch.
+
+    ``sampler(epoch_seed) -> Graph`` must return a connected graph on a
+    fixed vertex count.  Unlike :class:`PeriodicRelabelDynamicGraph`, edge
+    *structure* (not just labels) changes between epochs; ``α``/``Δ`` vary
+    within the family's concentration.
+    """
+
+    def __init__(
+        self,
+        sampler: Callable[[int], Graph],
+        tau: int,
+        seed: int | None = None,
+    ):
+        if tau < 1:
+            raise ValueError("tau must be >= 1")
+        self._sampler = sampler
+        self._seed = seed
+        self.tau = tau
+        first = self._sample(0)
+        self.n = first.n
+        self._cache: dict[int, Graph] = {0: first}
+
+    def _sample(self, e: int) -> Graph:
+        epoch_seed = int(
+            make_rng(self._seed, "resample-epoch", e).integers(0, 2**31 - 1)
+        )
+        g = self._sampler(epoch_seed)
+        if not g.is_connected():
+            raise ValueError("sampler returned a disconnected graph")
+        return g
+
+    def graph_at(self, r: int) -> Graph:
+        e = epoch_of_round(r, self.tau)
+        g = self._cache.get(e)
+        if g is None:
+            g = self._sample(e)
+            if g.n != self.n:
+                raise ValueError("sampler changed the vertex count")
+            if len(self._cache) > 4096:
+                self._cache.clear()
+            self._cache[e] = g
+        return g

@@ -1,0 +1,83 @@
+"""Validators for the model's topology contracts.
+
+These checks are used in tests and at engine start-up (opt-in) to ensure a
+dynamic graph honours the formal model of paper Sections II-III:
+
+* every round's topology is a connected undirected graph on the same
+  vertex set;
+* at least ``τ`` rounds pass between topology changes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.dynamic import DynamicGraph
+
+__all__ = [
+    "StabilityViolation",
+    "check_connected",
+    "check_stability_contract",
+    "observed_change_rounds",
+]
+
+
+class StabilityViolation(AssertionError):
+    """Raised when a dynamic graph changes faster than its declared ``τ``."""
+
+
+def check_connected(dg: DynamicGraph, horizon: int) -> None:
+    """Assert every epoch topology in ``1..horizon`` is connected.
+
+    Raises
+    ------
+    ValueError
+        On the first disconnected round found.
+    """
+    step = 1 if math.isinf(dg.tau) else int(dg.tau)
+    rounds = [1] if math.isinf(dg.tau) else range(1, horizon + 1, step)
+    for r in rounds:
+        if not dg.graph_at(r).is_connected():
+            raise ValueError(f"topology at round {r} is disconnected")
+
+
+def observed_change_rounds(dg: DynamicGraph, horizon: int) -> list[int]:
+    """Rounds ``r`` in ``2..horizon`` where ``G_r != G_{r-1}``."""
+    changes = []
+    prev = dg.graph_at(1)
+    for r in range(2, horizon + 1):
+        cur = dg.graph_at(r)
+        if cur != prev:
+            changes.append(r)
+        prev = cur
+    return changes
+
+
+def check_stability_contract(dg: DynamicGraph, horizon: int) -> None:
+    """Assert at least ``τ`` rounds pass between changes within the horizon.
+
+    A change at round ``r`` means ``G_r != G_{r-1}``; the contract requires
+    consecutive change rounds to differ by at least ``τ``, and the first
+    change to occur no earlier than round ``τ + 1``.
+
+    Raises
+    ------
+    StabilityViolation
+        If the declared ``τ`` is violated.
+    """
+    if math.isinf(dg.tau):
+        changes = observed_change_rounds(dg, horizon)
+        if changes:
+            raise StabilityViolation(
+                f"declared static but changed at rounds {changes[:5]}"
+            )
+        return
+    tau = int(dg.tau)
+    changes = observed_change_rounds(dg, horizon)
+    prev_change = 1  # the topology "starts" at round 1
+    for r in changes:
+        if r - prev_change < tau:
+            raise StabilityViolation(
+                f"changes at rounds {prev_change} and {r} are closer than tau={tau}"
+            )
+        prev_change = r

@@ -1,0 +1,37 @@
+"""Experiment harness: trial running, sweeps, tables, and the registry.
+
+Use :func:`~repro.harness.experiments.run_experiment` to regenerate any of
+the paper-claim reproductions and extensions (``E1``-``E19``) or
+ablations (``A1``-``A3``); each returns an ASCII
+:class:`~repro.harness.tables.Table`, and
+:func:`~repro.harness.verify.verify_experiment` checks a table against
+its claim's shape conditions.
+"""
+
+from repro.harness.runner import TrialOutcome, run_trials, trial_summary
+from repro.harness.sweep import grid, geometric_range
+from repro.harness.tables import Table
+from repro.harness.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.harness.persistence import load_document, load_table, save_table
+from repro.harness.reporting import build_report, collect_documents, write_report
+from repro.harness.verify import CheckResult, verify_experiment
+
+__all__ = [
+    "TrialOutcome",
+    "run_trials",
+    "trial_summary",
+    "grid",
+    "geometric_range",
+    "Table",
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "save_table",
+    "load_table",
+    "load_document",
+    "build_report",
+    "collect_documents",
+    "write_report",
+    "CheckResult",
+    "verify_experiment",
+]

@@ -1,0 +1,1812 @@
+"""The experiment registry: one experiment per paper claim.
+
+The paper's evaluation is a sequence of theorems; every entry here
+regenerates the *shape* of one claim (who wins, with what exponent, where
+behaviour flattens), per the reproduction plan in DESIGN.md.  Each
+experiment function returns a :class:`~repro.harness.tables.Table` whose
+notes restate the paper claim being checked.
+
+Two profiles are registered per experiment: ``quick`` (seconds; used by
+the pytest benchmarks) and ``standard`` (minutes; used to fill
+EXPERIMENTS.md).  Run them via :func:`run_experiment` or the
+``examples/reproduce_paper.py`` driver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.algorithms.async_bit_convergence import AsyncBitConvergenceVectorized
+from repro.algorithms.bit_convergence import (
+    BitConvergenceConfig,
+    BitConvergenceVectorized,
+    draw_id_tags,
+)
+from repro.algorithms.blind_gossip import BlindGossipVectorized
+from repro.algorithms.ppush import PPushVectorized
+from repro.algorithms.push_pull import PushPullVectorized
+from repro.analysis import bounds
+from repro.analysis.expansion import vertex_expansion, vertex_expansion_exact
+from repro.analysis.matching import gamma_exact
+from repro.analysis.statistics import loglog_slope, summarize
+from repro.core.classical import classical_push_pull_rumor
+from repro.core.vectorized import VectorizedEngine
+from repro.graphs import families
+from repro.graphs.dynamic import (
+    DynamicGraph,
+    PeriodicRelabelDynamicGraph,
+    StaticDynamicGraph,
+)
+from repro.graphs.static import Graph
+from repro.harness.runner import run_trials, trial_summary
+from repro.harness.tables import Table
+from repro.util.rng import make_rng
+
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "run_experiment",
+    "uid_keys_random",
+    "uid_keys_with_min_at",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def uid_keys_random(n: int, seed: int | None) -> np.ndarray:
+    """Distinct random UID keys (no vertex-index correlation)."""
+    rng = make_rng(seed, "uid-keys")
+    return rng.choice(np.arange(10 * n, dtype=np.int64), size=n, replace=False)
+
+
+def uid_keys_with_min_at(n: int, vertex: int, seed: int | None) -> np.ndarray:
+    """Distinct UID keys with the global minimum placed at ``vertex``.
+
+    Used by the lower-bound construction (Section VI fixes the smallest
+    UID at the first star's center).
+    """
+    keys = uid_keys_random(n, seed)
+    amin = int(np.argmin(keys))
+    keys[amin], keys[vertex] = keys[vertex], keys[amin]
+    return keys
+
+
+def _churn(base: Graph, tau: float, seed: int) -> DynamicGraph:
+    """Static topology for ``τ = ∞``; isomorphic relabel churn otherwise."""
+    if math.isinf(tau):
+        return StaticDynamicGraph(base)
+    return PeriodicRelabelDynamicGraph(base, int(tau), seed=seed)
+
+
+def _median_rounds(build, *, trials: int, max_rounds: int, seed: int) -> float:
+    outcomes = run_trials(build, trials=trials, max_rounds=max_rounds, seed=seed)
+    return trial_summary(outcomes).median
+
+
+# ---------------------------------------------------------------------------
+# E1 — Lemma V.1: gamma >= alpha / 4
+# ---------------------------------------------------------------------------
+
+
+def exp_lemma_v1(*, n_small: int = 10, random_graphs: int = 6, seed: int = 0) -> Table:
+    """Exact verification of Lemma V.1 on small graphs of every family."""
+    table = Table(
+        title="E1 (Lemma V.1): cut-matching ratio gamma vs vertex expansion alpha",
+        columns=["graph", "n", "alpha", "gamma", "alpha/4", "gamma >= alpha/4"],
+        notes=[
+            "Paper claim: gamma = min_S nu(B(S))/|S| >= alpha/4 for every graph.",
+            "alpha and gamma computed exactly by subset enumeration.",
+        ],
+    )
+    cases: list[tuple[str, Graph]] = [
+        ("clique", families.clique(n_small)),
+        ("path", families.path(n_small)),
+        ("ring", families.ring(n_small)),
+        ("star", families.star(n_small)),
+        ("double_star", families.double_star((n_small - 2) // 2)),
+        ("binary_tree", families.binary_tree(n_small)),
+        ("grid", families.grid(2, n_small // 2)),
+        ("hypercube", families.hypercube(3)),
+        ("line_of_stars", families.line_of_stars(3, 2)),
+        ("barbell", families.barbell(4)),
+    ]
+    for i in range(random_graphs):
+        cases.append(
+            (f"gnp#{i}", families.connected_erdos_renyi(n_small, 0.4, seed=seed + i))
+        )
+    for name, g in cases:
+        alpha = vertex_expansion_exact(g)
+        gamma = gamma_exact(g)
+        table.add_row(name, g.n, alpha, gamma, alpha / 4.0, gamma >= alpha / 4.0 - 1e-12)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E2 — Theorem V.2: PPUSH productivity across a cut
+# ---------------------------------------------------------------------------
+
+
+def exp_ppush_matching(
+    *, m: int = 128, d: int = 16, trials: int = 20, seed: int = 0
+) -> Table:
+    """PPUSH progress across a bipartite cut with a perfect matching.
+
+    A random ``d``-regular bipartite graph on sides of size ``m`` has a
+    matching of size ``m`` (König); the left side starts informed and we
+    measure how many right-side nodes learn the rumor in ``r`` stable
+    rounds, against the theorem's ``m/f(r)`` with ``f(r)=Δ^{1/r}·c·r·log n``.
+    """
+    table = Table(
+        title="E2 (Thm V.2): PPUSH informs >= m/f(r) across a cut in r stable rounds",
+        columns=[
+            "r",
+            "workload",
+            "f(r) (c=1)",
+            "predicted min fraction",
+            "measured mean fraction",
+            "measured q10 fraction",
+            "measured >= predicted",
+        ],
+        notes=[
+            "Paper claim: with constant probability at least m/f(r) new nodes "
+            "are informed, f(r) = Delta^(1/r) * c * r * log n.",
+            f"regular workload: random {d}-regular bipartite graph, "
+            f"|L| = |R| = m = {m} (benign contention).",
+            f"staircase workload: nested neighborhoods (left i ~ rights 0..i), "
+            f"m = {m}, Delta = m — the contention structure behind the "
+            "Delta^(1/r) factor; progress per r is visibly slower.",
+        ],
+    )
+    n = 2 * m
+    log_delta = int(math.log2(d))
+    staircase = families.staircase_bipartite(m)
+
+    def measure(r: int, build_graph) -> list[float]:
+        fractions = []
+        for t in range(trials):
+            g = build_graph(t, r)
+            algo = PPushVectorized(np.arange(m))
+            engine = VectorizedEngine(
+                StaticDynamicGraph(g), algo, seed=seed + 31 * t + r
+            )
+            engine.run(r, check_every=r + 1)  # exactly r rounds, no early stop
+            fractions.append((algo.informed_count(engine.state) - m) / m)
+        return fractions
+
+    for r in range(1, log_delta + 1):
+        for workload, delta_w, build in (
+            (
+                "regular",
+                d,
+                lambda t, r: families.random_bipartite_regular(
+                    m, d, seed=seed + 1000 * t + r
+                ),
+            ),
+            ("staircase", m, lambda t, r: staircase),
+        ):
+            fractions = measure(r, build)
+            f_r = bounds.f_approx(r, delta_w, n, c=1.0)
+            pred = 1.0 / f_r
+            s = summarize(fractions)
+            table.add_row(
+                r, workload, f_r, pred, s.mean, s.q10, s.q10 >= pred - 1e-12
+            )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E3 — Theorem VI.1: blind gossip upper bound shape
+# ---------------------------------------------------------------------------
+
+
+def exp_blind_gossip_scaling(
+    *,
+    leaf_counts: Sequence[int] = (4, 8, 16, 32),
+    trials: int = 10,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+) -> Table:
+    """Blind gossip rounds vs Δ on the double star, static and τ=1 churn.
+
+    The double star isolates the ``Δ²`` bottleneck: the hub-to-hub edge
+    connects with probability ``≈ 1/Δ²`` per round.
+    """
+    table = Table(
+        title="E3 (Thm VI.1): blind gossip stabilization vs Delta (double star)",
+        columns=["Delta", "n", "alpha", "rounds static", "rounds tau=1", "bound shape"],
+        notes=[
+            "Paper claim: O((1/alpha) * Delta^2 * log^2 n) rounds, even at tau=1.",
+            "bound shape = (1/alpha)*Delta^2*log2(n)^2 (unnormalized constant).",
+        ],
+    )
+    deltas, rounds_static = [], []
+    for k in leaf_counts:
+        base = families.double_star(k)
+        n = base.n
+        delta = base.max_degree
+        alpha = families.star_expansion(n) if False else 1.0 / (n // 2)
+        keys = uid_keys_random(n, seed + k)
+
+        def build_static(ts: int, base=base, keys=keys) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(base), BlindGossipVectorized(keys), seed=ts
+            )
+
+        def build_churn(ts: int, base=base, keys=keys) -> VectorizedEngine:
+            return VectorizedEngine(
+                PeriodicRelabelDynamicGraph(base, 1, seed=ts),
+                BlindGossipVectorized(keys),
+                seed=ts,
+            )
+
+        med_static = _median_rounds(
+            build_static, trials=trials, max_rounds=max_rounds, seed=seed
+        )
+        med_churn = _median_rounds(
+            build_churn, trials=trials, max_rounds=max_rounds, seed=seed + 1
+        )
+        table.add_row(
+            delta,
+            n,
+            alpha,
+            med_static,
+            med_churn,
+            bounds.blind_gossip_upper(n, alpha, delta),
+        )
+        deltas.append(delta)
+        rounds_static.append(med_static)
+    slope, r2 = loglog_slope(deltas, rounds_static)
+    table.notes.append(
+        f"log-log slope of static rounds vs Delta: {slope:.2f} (R^2={r2:.3f}); "
+        "paper shape predicts ~2."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E4 — Section VI lower bound: line of stars
+# ---------------------------------------------------------------------------
+
+
+def exp_lower_bound_line_of_stars(
+    *,
+    star_sizes: Sequence[int] = (3, 4, 5, 6),
+    trials: int = 8,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+) -> Table:
+    """Blind gossip on the line of stars with the minimum UID at ``u_1``.
+
+    The construction with ``s`` stars of ``s`` points forces the minimum
+    UID across ``s-1`` hub-to-hub edges, each crossed with probability
+    ``≈ 1/Δ²`` — predicting ``Θ(Δ²·s) ⊆ Ω(Δ²/√α)`` rounds.
+    """
+    table = Table(
+        title="E4 (Sec VI lower bound): blind gossip on the line of stars",
+        columns=["s (stars)", "n", "Delta", "alpha", "rounds", "Delta^2*s", "ratio"],
+        notes=[
+            "Paper claim: blind gossip needs Omega(Delta^2 / sqrt(alpha)) rounds "
+            "on this stable network (min UID at the first star center).",
+            "ratio = measured / (Delta^2 * s); shape holds if roughly constant.",
+        ],
+    )
+    ss, measured = [], []
+    for s in star_sizes:
+        g = families.line_of_stars(s, s)
+        n, delta = g.n, g.max_degree
+        alpha = families.line_of_stars_expansion(s, s)
+        keys = uid_keys_with_min_at(n, 0, seed + s)
+
+        def build(ts: int, g=g, keys=keys) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(g), BlindGossipVectorized(keys), seed=ts
+            )
+
+        med = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
+        pred = delta * delta * s
+        table.add_row(s, n, delta, alpha, med, pred, med / pred)
+        ss.append(s)
+        measured.append(med)
+    slope, r2 = loglog_slope(ss, measured)
+    table.notes.append(
+        f"log-log slope of rounds vs s: {slope:.2f} (R^2={r2:.3f}); "
+        "prediction Delta^2*s with Delta ~ s gives ~3."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E5 — Corollary VI.6: PUSH-PULL rumor spreading at b = 0
+# ---------------------------------------------------------------------------
+
+
+def exp_push_pull(
+    *,
+    leaf_counts: Sequence[int] = (4, 8, 16, 32),
+    trials: int = 10,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+) -> Table:
+    """PUSH-PULL completion vs Δ on the double star (source at a hub-1 leaf)."""
+    table = Table(
+        title="E5 (Cor VI.6): b=0 PUSH-PULL rumor spreading vs Delta (double star)",
+        columns=["Delta", "n", "rounds static", "rounds tau=1", "bound shape"],
+        notes=[
+            "Paper claim: PUSH-PULL completes in O((1/alpha)*Delta^2*log^2 n) "
+            "rounds at b=0, any tau >= 1 (Corollary VI.6).",
+        ],
+    )
+    deltas, measured = [], []
+    for k in leaf_counts:
+        base = families.double_star(k)
+        n, delta = base.n, base.max_degree
+        alpha = 1.0 / (n // 2)
+        source = np.array([2])  # first leaf of hub 0: rumor must cross both hubs
+
+        def build_static(ts: int, base=base, source=source) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(base), PushPullVectorized(source), seed=ts
+            )
+
+        def build_churn(ts: int, base=base, source=source) -> VectorizedEngine:
+            return VectorizedEngine(
+                PeriodicRelabelDynamicGraph(base, 1, seed=ts),
+                PushPullVectorized(source),
+                seed=ts,
+            )
+
+        med_static = _median_rounds(
+            build_static, trials=trials, max_rounds=max_rounds, seed=seed
+        )
+        med_churn = _median_rounds(
+            build_churn, trials=trials, max_rounds=max_rounds, seed=seed + 1
+        )
+        table.add_row(
+            delta, n, med_static, med_churn, bounds.push_pull_upper(n, alpha, delta)
+        )
+        deltas.append(delta)
+        measured.append(med_static)
+    slope, r2 = loglog_slope(deltas, measured)
+    table.notes.append(
+        f"log-log slope of static rounds vs Delta: {slope:.2f} (R^2={r2:.3f}); "
+        "paper shape predicts ~2."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E6 — Theorem VII.2: bit convergence vs tau
+# ---------------------------------------------------------------------------
+
+
+def exp_bit_convergence_tau(
+    *,
+    n: int = 64,
+    degree: int = 8,
+    taus: Sequence[float] = (1, 2, 4, 8, 16, math.inf),
+    trials: int = 8,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+    beta: float = 1.0,
+) -> Table:
+    """Bit convergence stabilization vs the stability factor τ.
+
+    Theorem VII.2 predicts rounds shrinking as ``Δ^{1/τ̂}·τ̂`` with
+    ``τ̂ = min(τ, log Δ)`` — monotone improvement flattening once
+    ``τ ≥ log Δ``.  Two churn models per τ:
+
+    * *oblivious*: isomorphic relabeling of a ``degree``-regular base
+      every τ rounds — honours the contract but mixes state, so it barely
+      exercises the bound's τ term (kept as the honest null result);
+    * *adaptive*: :class:`~repro.graphs.adversary.PackingAdversary` on a
+      double star with ``Δ ≈ degree`` — repacks winners behind a unit cut
+      matching at every epoch boundary, so longer stability directly buys
+      more PPUSH progress per epoch; this is where the τ-dependence shows.
+    """
+    from repro.graphs.adversary import PackingAdversary
+
+    base = families.random_regular(n, degree, seed=seed)
+    star_base = families.double_star(max(2, degree - 1))
+    delta = base.max_degree
+    alpha = vertex_expansion(base, seed=seed)
+    config = BitConvergenceConfig(n_upper=n, delta_bound=delta, beta=beta)
+    star_config = BitConvergenceConfig(
+        n_upper=star_base.n, delta_bound=star_base.max_degree, beta=beta
+    )
+    keys = uid_keys_random(n, seed)
+    star_keys = uid_keys_random(star_base.n, seed + 1)
+    table = Table(
+        title="E6 (Thm VII.2): bit convergence rounds vs stability factor tau",
+        columns=["tau", "tau_hat", "oblivious churn", "adaptive churn", "bound shape"],
+        notes=[
+            "Paper claim: O((1/alpha)*Delta^(1/tau_hat)*tau_hat*log^5 n) rounds, "
+            "tau_hat = min(tau, log Delta); improvement flattens past log Delta.",
+            f"Oblivious workload: {degree}-regular graph on n={n} "
+            f"(alpha~{alpha:.2f}), relabeling churn every tau rounds — random "
+            "relabeling mixes state, so the tau term barely registers "
+            "(honest null result).",
+            f"Adaptive workload: double star (n={star_base.n}, "
+            f"Delta={star_base.max_degree}) with the packing adversary "
+            "repacking winners each epoch; any finite tau costs a clear "
+            "factor over tau=inf.",
+            "The adaptive column is flat across finite tau because the "
+            "packing pins the cut matching to 1, capping progress per round "
+            "regardless of epoch length; the bound's finer Delta^(1/tau_hat) "
+            "gradation prices contention-heavy cuts that neither churn model "
+            "constructs.",
+        ],
+    )
+    for tau in taus:
+        def build_obliv(ts: int, tau=tau) -> VectorizedEngine:
+            return VectorizedEngine(
+                _churn(base, tau, ts),
+                BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+                seed=ts,
+            )
+
+        def build_adaptive(ts: int, tau=tau) -> VectorizedEngine:
+            if math.isinf(tau):
+                dg = StaticDynamicGraph(star_base)
+            else:
+                dg = PackingAdversary(star_base, tau=int(tau))
+            return VectorizedEngine(
+                dg,
+                BitConvergenceVectorized(
+                    star_keys, star_config, tag_seed=ts, unique_tags=True
+                ),
+                seed=ts,
+            )
+
+        med_obliv = _median_rounds(
+            build_obliv, trials=trials, max_rounds=max_rounds, seed=seed
+        )
+        med_adapt = _median_rounds(
+            build_adaptive, trials=trials, max_rounds=max_rounds, seed=seed + 1
+        )
+        table.add_row(
+            "inf" if math.isinf(tau) else int(tau),
+            bounds.tau_hat(tau if not math.isinf(tau) else delta, delta),
+            med_obliv,
+            med_adapt,
+            bounds.bit_convergence_upper(n, alpha, delta, tau if not math.isinf(tau) else delta),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E7 — the b = 0 vs b = 1 gap
+# ---------------------------------------------------------------------------
+
+
+def exp_gap_b0_b1(
+    *,
+    leaves: int = 16,
+    taus: Sequence[float] = (1, 2, 4, math.inf),
+    trials: int = 8,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+    beta: float = 1.0,
+) -> Table:
+    """Blind gossip vs bit convergence head-to-head on the double star.
+
+    The paper's headline gap: as τ grows from 1 to ``log Δ``, the advantage
+    of the 1-bit algorithm grows from ``~Δ`` to ``~Δ²`` (log factors aside).
+    """
+    base = families.double_star(leaves)
+    n, delta = base.n, base.max_degree
+    config = BitConvergenceConfig(n_upper=n, delta_bound=delta, beta=beta)
+    keys = uid_keys_random(n, seed)
+    table = Table(
+        title="E7 (Sec VII): b=0 vs b=1 leader election gap vs tau (double star)",
+        columns=["tau", "blind gossip (b=0)", "bit convergence (b=1)", "speedup"],
+        notes=[
+            "Paper claim: the b=1 advantage grows from ~Delta to ~Delta^2 as "
+            "tau goes from 1 to log Delta (ignoring log factors).",
+            "At simulatable scale the polylog factors of bit convergence are "
+            "comparable to Delta, so the reproducible shape is the *trend*: "
+            "the speedup grows with tau and with Delta.",
+            f"Workload: double star, Delta={delta}, n={n}.",
+        ],
+    )
+    for tau in taus:
+        def build_bg(ts: int, tau=tau) -> VectorizedEngine:
+            return VectorizedEngine(
+                _churn(base, tau, ts), BlindGossipVectorized(keys), seed=ts
+            )
+
+        def build_bc(ts: int, tau=tau) -> VectorizedEngine:
+            return VectorizedEngine(
+                _churn(base, tau, ts),
+                BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+                seed=ts,
+            )
+
+        bg = _median_rounds(build_bg, trials=trials, max_rounds=max_rounds, seed=seed)
+        bc = _median_rounds(build_bc, trials=trials, max_rounds=max_rounds, seed=seed + 1)
+        table.add_row("inf" if math.isinf(tau) else int(tau), bg, bc, bg / bc)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E8 — Theorem VIII.2: asynchronous activations
+# ---------------------------------------------------------------------------
+
+
+def exp_async(
+    *,
+    n: int = 32,
+    degree: int = 4,
+    trials: int = 6,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+    beta: float = 1.0,
+) -> Table:
+    """Async bit convergence vs the synchronized original.
+
+    Three variants on the same static random-regular topology:
+    synchronized bit convergence, async algorithm with simultaneous
+    starts, and async algorithm with staggered activations (measured from
+    the last activation, as Theorem VIII.2 prescribes).
+    """
+    base = families.random_regular(n, degree, seed=seed)
+    delta = base.max_degree
+    config = BitConvergenceConfig(n_upper=n, delta_bound=delta, beta=beta)
+    keys = uid_keys_random(n, seed)
+    spread = 4 * config.group_len
+
+    def build_sync(ts: int) -> VectorizedEngine:
+        return VectorizedEngine(
+            StaticDynamicGraph(base),
+            BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+            seed=ts,
+        )
+
+    def build_async_simul(ts: int) -> VectorizedEngine:
+        return VectorizedEngine(
+            StaticDynamicGraph(base),
+            AsyncBitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+            seed=ts,
+        )
+
+    def build_async_staggered(ts: int) -> VectorizedEngine:
+        act = make_rng(ts, "activations").integers(1, spread + 1, size=n)
+        act[int(np.argmin(act))] = 1  # someone starts at round 1
+        return VectorizedEngine(
+            StaticDynamicGraph(base),
+            AsyncBitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+            seed=ts,
+            activation_rounds=act,
+        )
+
+    table = Table(
+        title="E8 (Thm VIII.2): async bit convergence vs synchronized original",
+        columns=["variant", "b (tag bits)", "rounds", "ratio to sync"],
+        notes=[
+            "Paper claim: the async variant stabilizes within polylog factors "
+            "of the original, measured after the last activation, and needs "
+            "b = ceil(log k)+1 = loglog n + O(1) advertising bits.",
+            f"Workload: static {degree}-regular graph on n={n}; "
+            f"staggered activations spread over {spread} rounds.",
+        ],
+    )
+    sync_out = run_trials(build_sync, trials=trials, max_rounds=max_rounds, seed=seed)
+    sync_med = trial_summary(sync_out).median
+    table.add_row("bit convergence (sync)", 1, sync_med, 1.0)
+
+    simul_out = run_trials(
+        build_async_simul, trials=trials, max_rounds=max_rounds, seed=seed + 1
+    )
+    simul_med = trial_summary(simul_out).median
+    table.add_row("async, simultaneous starts", config_tag_bits(config), simul_med, simul_med / sync_med)
+
+    stag_out = run_trials(
+        build_async_staggered, trials=trials, max_rounds=max_rounds, seed=seed + 2
+    )
+    stag_med = trial_summary(stag_out, after_activation=True).median
+    table.add_row(
+        "async, staggered (after last act.)",
+        config_tag_bits(config),
+        stag_med,
+        stag_med / sync_med,
+    )
+    return table
+
+
+def config_tag_bits(config: BitConvergenceConfig) -> int:
+    """Advertising bits the async variant needs for this configuration."""
+    from repro.algorithms.async_bit_convergence import async_tag_length
+
+    return async_tag_length(config.k)
+
+
+# ---------------------------------------------------------------------------
+# E9 — self-stabilization: joining long-running components
+# ---------------------------------------------------------------------------
+
+
+def exp_self_stabilization(
+    *,
+    component_n: int = 16,
+    degree: int = 4,
+    trials: int = 6,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+    beta: float = 1.0,
+) -> Table:
+    """Join two converged components and measure re-stabilization.
+
+    Each component runs async bit convergence to convergence in isolation;
+    the components are then bridged and the combined network continues
+    from its existing state.  Section VIII claims the combined network
+    stabilizes in the same time as a fresh network of the combined size.
+    """
+    n_total = 2 * component_n
+    config = BitConvergenceConfig(n_upper=n_total, delta_bound=degree + 1, beta=beta)
+    joined_rounds, fresh_rounds = [], []
+    for t in range(trials):
+        ts = seed + 101 * t
+        g1 = families.random_regular(component_n, degree, seed=ts)
+        g2 = families.random_regular(component_n, degree, seed=ts + 1)
+        union = g1.union(g2, [(0, 0), (component_n - 1, component_n - 1)])
+        keys = uid_keys_random(n_total, ts)
+        # Tags are drawn uniquely across the *whole* eventual network: the
+        # paper's uniqueness event covers all nodes that will ever meet (a
+        # cross-component collision at the minimum tag would deadlock the
+        # bit advertising, exactly as in the single-network case).
+        all_tags = draw_id_tags(n_total, config, ts + 5, unique=True)
+
+        # Run each component to convergence in isolation.
+        states = []
+        for comp, g, key_slice in (
+            (0, g1, slice(0, component_n)),
+            (1, g2, slice(component_n, n_total)),
+        ):
+            algo = AsyncBitConvergenceVectorized(
+                keys[key_slice],
+                config,
+                initial_pairs=(all_tags[key_slice], keys[key_slice]),
+            )
+            eng = VectorizedEngine(StaticDynamicGraph(g), algo, seed=ts + 13 * comp)
+            res = eng.run(max_rounds)
+            if not res.stabilized:
+                raise RuntimeError("component failed to stabilize; raise max_rounds")
+            states.append((eng.state.ctag.copy(), eng.state.ckey.copy()))
+
+        # Join: continue from the components' converged states.
+        init_tags = np.concatenate([states[0][0], states[1][0]])
+        init_keys = np.concatenate([states[0][1], states[1][1]])
+        algo_joined = AsyncBitConvergenceVectorized(
+            keys, config, initial_pairs=(init_tags, init_keys)
+        )
+        eng_joined = VectorizedEngine(
+            StaticDynamicGraph(union), algo_joined, seed=ts + 29
+        )
+        res_joined = eng_joined.run(max_rounds)
+        if not res_joined.stabilized:
+            raise RuntimeError("joined network failed to stabilize")
+        joined_rounds.append(res_joined.rounds)
+
+        # Baseline: a fresh start on the same union topology.
+        algo_fresh = AsyncBitConvergenceVectorized(keys, config, tag_seed=ts + 31, unique_tags=True)
+        eng_fresh = VectorizedEngine(StaticDynamicGraph(union), algo_fresh, seed=ts + 37)
+        res_fresh = eng_fresh.run(max_rounds)
+        if not res_fresh.stabilized:
+            raise RuntimeError("fresh union failed to stabilize")
+        fresh_rounds.append(res_fresh.rounds)
+
+    s_join, s_fresh = summarize(joined_rounds), summarize(fresh_rounds)
+    table = Table(
+        title="E9 (Sec VIII): self-stabilization after joining converged components",
+        columns=["scenario", "median rounds", "mean rounds"],
+        notes=[
+            "Paper claim: connecting components that ran for arbitrary durations "
+            "still stabilizes to a single leader in the usual stabilization time.",
+            f"Workload: two {degree}-regular components of n={component_n}, "
+            "bridged by two edges.",
+        ],
+    )
+    table.add_row("fresh start on union", s_fresh.median, s_fresh.mean)
+    table.add_row("join after convergence", s_join.median, s_join.mean)
+    table.notes.append(
+        f"ratio join/fresh (median): {s_join.median / max(s_fresh.median, 1e-9):.2f} "
+        "(same order expected)."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E10 — classical telephone model vs mobile telephone model
+# ---------------------------------------------------------------------------
+
+
+def exp_classical_vs_mobile(
+    *,
+    leaf_counts: Sequence[int] = (4, 8, 16, 32),
+    trials: int = 10,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+) -> Table:
+    """Rumor spreading: classical model vs mobile b=0 vs mobile b=1.
+
+    The single-connection restriction is what costs ``Δ²``: classical
+    PUSH-PULL and mobile PPUSH scale ``~Δ`` on the double star while
+    mobile b=0 PUSH-PULL scales ``~Δ²``.
+    """
+    table = Table(
+        title="E10: classical PUSH-PULL vs mobile b=0 PUSH-PULL vs PPUSH (b=1)",
+        columns=["Delta", "n", "classical", "mobile b=0", "mobile b=1 (PPUSH)"],
+        notes=[
+            "Paper context: classical model (unbounded accepts) and the b=1 "
+            "mobile model spread rumors in O((1/alpha)*polylog n) on stable "
+            "graphs; the b=0 mobile model provably cannot (Sec VI).",
+        ],
+    )
+    deltas, mob0 = [], []
+    for k in leaf_counts:
+        base = families.double_star(k)
+        n, delta = base.n, base.max_degree
+        source = np.array([2])
+
+        def build_b0(ts: int, base=base, source=source) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(base), PushPullVectorized(source), seed=ts
+            )
+
+        def build_b1(ts: int, base=base, source=source) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(base), PPushVectorized(source), seed=ts
+            )
+
+        classical = [
+            classical_push_pull_rumor(
+                StaticDynamicGraph(base), 2, max_rounds=max_rounds, seed=seed + 17 * t
+            ).rounds
+            for t in range(trials)
+        ]
+        med_cl = float(np.median(classical))
+        med_b0 = _median_rounds(build_b0, trials=trials, max_rounds=max_rounds, seed=seed)
+        med_b1 = _median_rounds(build_b1, trials=trials, max_rounds=max_rounds, seed=seed + 1)
+        table.add_row(delta, n, med_cl, med_b0, med_b1)
+        deltas.append(delta)
+        mob0.append(med_b0)
+    slope, _ = loglog_slope(deltas, mob0)
+    table.notes.append(
+        f"mobile b=0 log-log slope vs Delta: {slope:.2f} (expected ~2); "
+        "classical and PPUSH grow ~linearly in Delta here."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E11 — worst-case expansion vs well-connected, tau = 1
+# ---------------------------------------------------------------------------
+
+
+def exp_dynamic_comparison(
+    *,
+    sizes: Sequence[int] = (16, 32, 64),
+    degree: int = 4,
+    trials: int = 6,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+    beta: float = 1.0,
+) -> Table:
+    """Bit convergence: ring (α ~ 1/n) vs random regular (α ~ const).
+
+    Paper context (related work): versus Kuhn-Lynch-Oshman's O(n²) dynamic
+    leader election, bit convergence costs O(n·Δ·polylog n) at worst-case
+    expansion but drops toward polylog on well-connected graphs — the 1/α
+    term, not n itself, drives the cost.
+
+    Static columns isolate the 1/α effect.  The τ=1 columns use random
+    isomorphic relabeling, which *destroys locality*: a relabeled ring is
+    effectively a fresh random 2-regular graph each round, i.e. a temporal
+    expander.  The per-round α is still 2/n, but the measured rounds
+    collapse — direct evidence that the bound's per-snapshot α is a
+    worst-case (adversarial-schedule) parameter that oblivious random
+    churn does not realize.
+    """
+    table = Table(
+        title="E11: bit convergence, poorly vs well connected (static and tau=1)",
+        columns=[
+            "n",
+            "ring static",
+            "regular static",
+            "static ratio",
+            "ring tau=1",
+            "regular tau=1",
+        ],
+        notes=[
+            "Paper claim: the (1/alpha) term dominates; well-connected graphs "
+            "elect leaders near-polylogarithmically.",
+            "static ratio = ring/regular, expected to grow ~n/polylog as the "
+            "ring's 1/alpha = n/2 kicks in.",
+            "tau=1 uses random relabeling churn: it mixes the ring into a "
+            "temporal expander, so the 1/alpha penalty disappears — the "
+            "bound's per-round alpha is adversarial worst case.",
+        ],
+    )
+    for n in sizes:
+        ring = families.ring(n)
+        reg = families.random_regular(n, degree, seed=seed + n)
+        keys = uid_keys_random(n, seed + n)
+        cfg_ring = BitConvergenceConfig(n_upper=n, delta_bound=2, beta=beta)
+        cfg_reg = BitConvergenceConfig(n_upper=n, delta_bound=degree, beta=beta)
+
+        def build(ts: int, *, base, cfg, tau) -> VectorizedEngine:
+            return VectorizedEngine(
+                _churn(base, tau, ts),
+                BitConvergenceVectorized(keys, cfg, tag_seed=ts, unique_tags=True),
+                seed=ts,
+            )
+
+        from functools import partial
+
+        ring_static = _median_rounds(
+            partial(build, base=ring, cfg=cfg_ring, tau=math.inf),
+            trials=trials, max_rounds=max_rounds, seed=seed,
+        )
+        reg_static = _median_rounds(
+            partial(build, base=reg, cfg=cfg_reg, tau=math.inf),
+            trials=trials, max_rounds=max_rounds, seed=seed + 1,
+        )
+        ring_churn = _median_rounds(
+            partial(build, base=ring, cfg=cfg_ring, tau=1),
+            trials=trials, max_rounds=max_rounds, seed=seed + 2,
+        )
+        reg_churn = _median_rounds(
+            partial(build, base=reg, cfg=cfg_reg, tau=1),
+            trials=trials, max_rounds=max_rounds, seed=seed + 3,
+        )
+        table.add_row(
+            n, ring_static, reg_static, ring_static / reg_static, ring_churn, reg_churn
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E12 — adaptive vs oblivious churn (extension)
+# ---------------------------------------------------------------------------
+
+
+def exp_adaptive_adversary(
+    *,
+    leaf_counts: Sequence[int] = (8, 16, 32),
+    trials: int = 8,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+) -> Table:
+    """PUSH-PULL under adaptive worst-case churn vs oblivious churn.
+
+    The model allows an *adversarial* dynamic graph; the bounds' τ- and
+    α-dependence prices that adversary.  Oblivious random relabeling mixes
+    state and helps; the :class:`~repro.graphs.adversary.PackingAdversary`
+    instead observes the informed set each epoch and relabels the double
+    star so the informed nodes sit behind a single boundary vertex —
+    pinning the cut matching ν(B(S)) to 1 and throttling spread to ~one
+    node per round.  Expected ordering: oblivious ≤ static ≤ adaptive,
+    with the adaptive column growing ~linearly in n on top.
+    """
+    from repro.graphs.adversary import PackingAdversary
+
+    table = Table(
+        title="E12 (extension): b=0 PUSH-PULL — oblivious vs adaptive tau=1 churn",
+        columns=["Delta", "n", "static", "oblivious tau=1", "adaptive tau=1"],
+        notes=[
+            "Model context: the dynamic graph is adversarial; the bounds "
+            "price a worst case that oblivious random churn never realizes.",
+            "Adaptive adversary: packs the informed set behind one boundary "
+            "vertex every epoch (alpha and Delta preserved exactly).",
+        ],
+    )
+    for k in leaf_counts:
+        base = families.double_star(k)
+        n, delta = base.n, base.max_degree
+        source = np.array([2])
+
+        def build_static(ts: int, base=base) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(base), PushPullVectorized(source), seed=ts
+            )
+
+        def build_obliv(ts: int, base=base) -> VectorizedEngine:
+            return VectorizedEngine(
+                PeriodicRelabelDynamicGraph(base, 1, seed=ts),
+                PushPullVectorized(source),
+                seed=ts,
+            )
+
+        def build_adaptive(ts: int, base=base) -> VectorizedEngine:
+            return VectorizedEngine(
+                PackingAdversary(base, tau=1), PushPullVectorized(source), seed=ts
+            )
+
+        med_static = _median_rounds(
+            build_static, trials=trials, max_rounds=max_rounds, seed=seed
+        )
+        med_obliv = _median_rounds(
+            build_obliv, trials=trials, max_rounds=max_rounds, seed=seed + 1
+        )
+        med_adapt = _median_rounds(
+            build_adaptive, trials=trials, max_rounds=max_rounds, seed=seed + 2
+        )
+        table.add_row(delta, n, med_static, med_obliv, med_adapt)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E14 — PPUSH matches the classical model within log factors (tau >= log Δ)
+# ---------------------------------------------------------------------------
+
+
+def exp_ppush_vs_classical(
+    *,
+    sizes: Sequence[int] = (32, 64, 128, 256),
+    degree: int = 8,
+    trials: int = 10,
+    seed: int = 0,
+    max_rounds: int = 200_000,
+) -> Table:
+    """PPUSH (b=1, single accept) vs classical PUSH-PULL (unbounded accepts).
+
+    Related-work claim (carried from Ghaffari-Newport and used throughout
+    this paper): for ``τ ≥ log Δ`` and with one advertising bit, PPUSH in
+    the mobile telephone model *matches* classical PUSH-PULL within log
+    factors — the one-connection restriction costs only polylog once a
+    single bit of advertising focuses the proposals.  We sweep ``n`` on
+    static regular graphs and check the ratio grows at most
+    polylogarithmically (in particular, far slower than any polynomial).
+    """
+    table = Table(
+        title="E14: PPUSH (mobile, b=1) vs classical PUSH-PULL, static regular graphs",
+        columns=["n", "classical", "PPUSH (b=1)", "ratio", "log2(n)"],
+        notes=[
+            "Paper context: with b=1 and tau >= log Delta the mobile model "
+            "matches the classical model within log factors.",
+            f"Workload: static {degree}-regular graphs, rumor at vertex 0.",
+        ],
+    )
+    ratios = []
+    for n in sizes:
+        g = families.random_regular(n, degree, seed=seed + n)
+        dg = StaticDynamicGraph(g)
+        classical = [
+            classical_push_pull_rumor(dg, 0, max_rounds=max_rounds, seed=seed + 17 * t).rounds
+            for t in range(trials)
+        ]
+
+        def build(ts: int, dg=dg) -> VectorizedEngine:
+            return VectorizedEngine(dg, PPushVectorized(np.array([0])), seed=ts)
+
+        med_cl = float(np.median(classical))
+        med_pp = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
+        ratio = med_pp / med_cl
+        ratios.append(ratio)
+        table.add_row(n, med_cl, med_pp, ratio, math.log2(n))
+    table.notes.append(
+        f"ratio at smallest vs largest n: {ratios[0]:.2f} -> {ratios[-1]:.2f}; "
+        "a polylog gap stays within a small constant multiple of log n."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E19 — Lemmas VI.4/VI.5: blind gossip phases are productive
+# ---------------------------------------------------------------------------
+
+
+def exp_productive_phases(
+    *,
+    n: int = 32,
+    degree: int = 4,
+    trials: int = 10,
+    c: float = 1.0,
+    seed: int = 0,
+    max_phases: int = 60,
+) -> Table:
+    """Empirical frequency of *productive* blind gossip phases.
+
+    Lemma VI.4: while ``|S| ≤ n/2``, every phase of ``c·Δ²·log n`` rounds
+    grows the winner-holding set by ``(1 + α/4)`` w.h.p.; Lemma VI.5: once
+    ``|S| > n/2`` the complement shrinks by ``(1 - α/4)``.  We classify
+    every phase of live runs against exactly these thresholds.
+    """
+    base = families.random_regular(n, degree, seed=seed)
+    delta = base.max_degree
+    alpha = vertex_expansion(base, seed=seed)
+    phase_len = max(1, int(round(c * delta * delta * math.log2(n))))
+    keys = uid_keys_random(n, seed)
+    table = Table(
+        title="E19 (Lemmas VI.4/VI.5): productive blind gossip phases",
+        columns=[
+            "workload",
+            "phase rounds",
+            "phases observed",
+            "productive fraction (mean)",
+            "productive fraction (min)",
+        ],
+        notes=[
+            "Paper claim: each phase of c*Delta^2*log n rounds grows S by "
+            "(1+alpha/4) while |S| <= n/2, then shrinks U by (1-alpha/4), "
+            "w.h.p. (c=1 here; the paper's c is an unspecified constant).",
+            f"Workloads on n={n}: {degree}-regular (alpha~{alpha:.2f}) and "
+            "the double star (its own alpha, Delta).",
+        ],
+    )
+    star = families.double_star((n - 2) // 2)
+    star_alpha = 1.0 / (star.n // 2)
+    star_phase = max(1, int(round(c * star.max_degree**2 * math.log2(star.n))))
+    star_keys = uid_keys_random(star.n, seed + 1)
+
+    for name, g, a, plen, kk in (
+        (f"{degree}-regular", base, alpha, phase_len, keys),
+        ("double star", star, star_alpha, star_phase, star_keys),
+    ):
+        fractions = []
+        total = 0
+        for t in range(trials):
+            ts = seed + 41 * t
+            algo = BlindGossipVectorized(kk)
+            eng = VectorizedEngine(StaticDynamicGraph(g), algo, seed=ts)
+            holders = lambda: int((eng.state.best == eng.state.target).sum())
+            productive = 0
+            phases = 0
+            r = 0
+            for _ in range(max_phases):
+                s0 = holders()
+                if s0 == g.n:
+                    break
+                for _ in range(plen):
+                    r += 1
+                    eng.step(r)
+                s1 = holders()
+                phases += 1
+                if s0 <= g.n / 2:
+                    productive += s1 >= (1 + a / 4) * s0
+                else:
+                    productive += (g.n - s1) <= (1 - a / 4) * (g.n - s0)
+            if phases:
+                fractions.append(productive / phases)
+                total += phases
+        table.add_row(
+            name, plen, total, float(np.mean(fractions)), float(np.min(fractions))
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E13 — Lemma VII.5: good phases occur with constant probability
+# ---------------------------------------------------------------------------
+
+
+def exp_good_phase_frequency(
+    *,
+    n: int = 32,
+    degree: int = 4,
+    taus: Sequence[float] = (1, 2, math.inf),
+    trials: int = 10,
+    max_phases: int = 60,
+    seed: int = 0,
+    beta: float = 1.0,
+) -> Table:
+    """Empirical frequency of *good* phases (Definition VII.3).
+
+    Lemma VII.5 asserts every phase with ``b_i ≠ ⊥`` is good with at least
+    a constant probability ``p_g``, for any τ ≥ 1.  We classify every phase
+    of live bit convergence executions and report the measured frequency.
+    """
+    from repro.analysis.progress import PhaseClassifier
+    from repro.graphs.adversary import PackingAdversary
+
+    base = families.random_regular(n, degree, seed=seed)
+    star_base = families.double_star(max(2, n // 4))
+    delta = base.max_degree
+    alpha = vertex_expansion(base, seed=seed)
+    star_alpha = 1.0 / (star_base.n // 2)
+    config = BitConvergenceConfig(n_upper=n, delta_bound=delta, beta=beta)
+    star_config = BitConvergenceConfig(
+        n_upper=star_base.n, delta_bound=star_base.max_degree, beta=beta
+    )
+    keys = uid_keys_random(n, seed)
+    star_keys = uid_keys_random(star_base.n, seed + 1)
+    table = Table(
+        title="E13 (Lemma VII.5): empirical good-phase frequency",
+        columns=[
+            "tau",
+            "workload",
+            "phases observed",
+            "good fraction (mean)",
+            "good fraction (min)",
+        ],
+        notes=[
+            "Paper claim: each phase with b_i != bottom is good with at "
+            "least constant probability p_g, for any tau >= 1.",
+            f"Benign workload: {degree}-regular graph on n={n} "
+            f"(alpha~{alpha:.2f}) under relabeling churn; adversarial "
+            f"workload: double star n={star_base.n} under the packing "
+            "adversary.  Goodness threshold 1 + alpha/(4 f(tau_hat)) per "
+            "Definition VII.3 (c=1).",
+        ],
+    )
+
+    def classify(make_engine, alpha_used, tau) -> tuple[int, float, float]:
+        fractions = []
+        phases_total = 0
+        for t in range(trials):
+            ts = seed + 37 * t
+            eng = make_engine(ts)
+            clf = PhaseClassifier(eng, alpha=alpha_used, tau=tau)
+            recs = clf.run(max_phases)
+            if recs:
+                fractions.append(clf.good_fraction)
+                phases_total += len(recs)
+        return phases_total, float(np.mean(fractions)), float(np.min(fractions))
+
+    for tau in taus:
+        def mk_benign(ts: int, tau=tau) -> VectorizedEngine:
+            return VectorizedEngine(
+                _churn(base, tau, ts),
+                BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+                seed=ts,
+            )
+
+        def mk_adversarial(ts: int, tau=tau) -> VectorizedEngine:
+            dg = (
+                StaticDynamicGraph(star_base)
+                if math.isinf(tau)
+                else PackingAdversary(star_base, tau=int(tau))
+            )
+            return VectorizedEngine(
+                dg,
+                BitConvergenceVectorized(
+                    star_keys, star_config, tag_seed=ts, unique_tags=True
+                ),
+                seed=ts,
+            )
+
+        tau_label = "inf" if math.isinf(tau) else int(tau)
+        total, mean_f, min_f = classify(mk_benign, alpha, tau)
+        table.add_row(tau_label, "regular+oblivious", total, mean_f, min_f)
+        total, mean_f, min_f = classify(mk_adversarial, star_alpha, tau)
+        table.add_row(tau_label, "double star+adaptive", total, mean_f, min_f)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E15 — communication cost (connections until stabilization)
+# ---------------------------------------------------------------------------
+
+
+def exp_communication_cost(
+    *,
+    n: int = 64,
+    degree: int = 8,
+    trials: int = 8,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+    beta: float = 1.0,
+) -> Table:
+    """Total connections (≈ radio energy) each algorithm spends to elect.
+
+    Rounds measure latency; *connections* measure the radio work the
+    devices perform — the resource smartphone deployments actually care
+    about.  Blind gossip connects promiscuously every round; bit
+    convergence's advertised bits suppress useless connections, so it can
+    win on energy even where it loses on latency.
+    """
+    base = families.random_regular(n, degree, seed=seed)
+    star = families.double_star(degree * 2)
+    keys = uid_keys_random(n, seed)
+    star_keys = uid_keys_random(star.n, seed + 1)
+    cfg = BitConvergenceConfig(n_upper=n, delta_bound=degree, beta=beta)
+    star_cfg = BitConvergenceConfig(
+        n_upper=star.n, delta_bound=star.max_degree, beta=beta
+    )
+    table = Table(
+        title="E15: communication cost — total connections until stabilization",
+        columns=[
+            "algorithm",
+            f"regular n={n}: rounds",
+            "connections",
+            f"double star n={star.n}: rounds",
+            "connections",
+        ],
+        notes=[
+            "connections ~ radio energy: each connection is 2 messages.",
+            "medians over trials; the b=1 advertisement suppresses useless "
+            "connections, trading rounds for radio work.",
+        ],
+    )
+
+    def run_cells(make_algo, graph, kk) -> tuple[float, float]:
+        rounds, conns = [], []
+        for t in range(trials):
+            ts = seed + 53 * t
+            eng = VectorizedEngine(StaticDynamicGraph(graph), make_algo(ts, kk), seed=ts)
+            res = eng.run(max_rounds)
+            if not res.stabilized:
+                raise RuntimeError("trial did not stabilize; raise max_rounds")
+            rounds.append(res.rounds)
+            conns.append(eng.connections_made)
+        return float(np.median(rounds)), float(np.median(conns))
+
+    cases = [
+        (
+            "blind gossip (b=0)",
+            lambda ts, kk: BlindGossipVectorized(kk),
+        ),
+        (
+            "bit convergence (b=1)",
+            lambda ts, kk: BitConvergenceVectorized(
+                kk,
+                cfg if kk is keys else star_cfg,
+                tag_seed=ts,
+                unique_tags=True,
+            ),
+        ),
+        (
+            "async bit convergence",
+            lambda ts, kk: AsyncBitConvergenceVectorized(
+                kk,
+                cfg if kk is keys else star_cfg,
+                tag_seed=ts,
+                unique_tags=True,
+            ),
+        ),
+    ]
+    for name, make_algo in cases:
+        r_reg, c_reg = run_cells(make_algo, base, keys)
+        r_star, c_star = run_cells(make_algo, star, star_keys)
+        table.add_row(name, r_reg, c_reg, r_star, c_star)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E16 — extension: k-gossip (all-to-all dissemination)
+# ---------------------------------------------------------------------------
+
+
+def exp_k_gossip(
+    *,
+    sizes: Sequence[int] = (8, 16, 32, 64),
+    degree: int = 4,
+    trials: int = 6,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+) -> Table:
+    """All-to-all gossip completion time (paper's future-work direction).
+
+    Every node starts with a rumor; a connection moves one rumor per
+    direction.  Information-theoretic floor: ``n·(n-1)`` rumor copies at
+    ≤ n per round ⇒ at least ``n - 1`` rounds even on a clique.  We
+    measure the scaling on cliques and sparse regular graphs.
+    """
+    from repro.algorithms.k_gossip import KGossipVectorized
+
+    table = Table(
+        title="E16 (extension): k-gossip — all-to-all dissemination at b=0",
+        columns=["n", "clique rounds", f"{degree}-regular rounds", "floor n-1"],
+        notes=[
+            "Paper's conclusion lists gossip among the problems this model "
+            "opens; a connection carries one rumor per direction (O(1) "
+            "budget).",
+        ],
+    )
+    ns, clique_rounds = [], []
+    for n in sizes:
+        clique = families.clique(n)
+        reg = families.random_regular(n, degree, seed=seed + n)
+
+        def build_clique(ts: int, g=clique) -> VectorizedEngine:
+            return VectorizedEngine(StaticDynamicGraph(g), KGossipVectorized(), seed=ts)
+
+        def build_reg(ts: int, g=reg) -> VectorizedEngine:
+            return VectorizedEngine(StaticDynamicGraph(g), KGossipVectorized(), seed=ts)
+
+        med_clique = _median_rounds(
+            build_clique, trials=trials, max_rounds=max_rounds, seed=seed
+        )
+        med_reg = _median_rounds(
+            build_reg, trials=trials, max_rounds=max_rounds, seed=seed + 1
+        )
+        table.add_row(n, med_clique, med_reg, n - 1)
+        ns.append(n)
+        clique_rounds.append(med_clique)
+    slope, r2 = loglog_slope(ns, clique_rounds)
+    table.notes.append(
+        f"clique log-log slope vs n: {slope:.2f} (R^2={r2:.3f}); "
+        "random one-rumor-per-connection gossip pays a coupon-collector "
+        "factor over the linear floor."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E17 — extension: averaging gossip vs expansion
+# ---------------------------------------------------------------------------
+
+
+def exp_averaging(
+    *,
+    n: int = 64,
+    degree: int = 6,
+    trials: int = 8,
+    eps: float = 1e-3,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+) -> Table:
+    """Distributed averaging: convergence time tracks 1/α across families.
+
+    Each pairwise average contracts disagreement along one edge, so
+    well-expanding topologies mix fast and elongated ones slowly — the
+    same α story as leader election, on the aggregation problem the
+    paper's conclusion proposes.
+    """
+    from repro.algorithms.averaging import AveragingVectorized
+
+    cases = [
+        ("clique", families.clique(n)),
+        (f"random regular d={degree}", families.random_regular(n, degree, seed=seed)),
+        ("torus", families.torus(max(3, int(math.isqrt(n))), max(3, n // max(3, int(math.isqrt(n)))))),
+        ("ring", families.ring(n)),
+        ("double star", families.double_star((n - 2) // 2)),
+    ]
+    table = Table(
+        title="E17 (extension): averaging gossip — rounds to max deviation < eps",
+        columns=["topology", "n", "alpha (est.)", "median rounds"],
+        notes=[
+            "Paper's conclusion lists data aggregation among the problems "
+            "this model opens; pairwise averaging is the natural fit for "
+            "single-connection rounds.",
+            f"values ~ U[0,1], eps={eps}; alpha via the sweep estimator.",
+        ],
+    )
+    for name, g in cases:
+        alpha = vertex_expansion(g, seed=seed)
+        values = make_rng(seed, "avg-values", g.n).random(g.n)
+
+        def build(ts: int, g=g, values=values) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(g), AveragingVectorized(values, eps=eps), seed=ts
+            )
+
+        med = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
+        table.add_row(name, g.n, alpha, med)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E18 — extension: consensus on top of leader election
+# ---------------------------------------------------------------------------
+
+
+def exp_consensus(
+    *,
+    n: int = 32,
+    degree: int = 4,
+    taus: Sequence[float] = (1, 4, math.inf),
+    trials: int = 8,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+    beta: float = 1.0,
+) -> Table:
+    """Single-value consensus via async bit convergence carrying proposals.
+
+    The paper motivates leader election as the primitive behind agreement;
+    this experiment closes the loop: decision time equals leader election
+    time (the value rides the winning pair for free), and agreement +
+    validity hold in every trial.
+    """
+    from repro.algorithms.consensus import ConsensusVectorized
+
+    base = families.random_regular(n, degree, seed=seed)
+    delta = base.max_degree
+    cfg = BitConvergenceConfig(n_upper=n, delta_bound=delta, beta=beta)
+    keys = uid_keys_random(n, seed)
+    table = Table(
+        title="E18 (extension): consensus via leader election (values ride pairs)",
+        columns=[
+            "tau",
+            "leader election rounds",
+            "consensus rounds",
+            "overhead",
+            "agreement+validity",
+        ],
+        notes=[
+            "Paper intro: leader election simplifies agreement — here "
+            "consensus costs exactly one election.",
+            f"Workload: {degree}-regular graph on n={n}; proposals are "
+            "distinct integers; validity = decided value is the winner's.",
+        ],
+    )
+    for tau in taus:
+        le_rounds, cons_rounds = [], []
+        ok = True
+        for t in range(trials):
+            ts = seed + 61 * t
+            proposals = np.arange(1000, 1000 + n, dtype=np.int64)
+
+            le = VectorizedEngine(
+                _churn(base, tau, ts),
+                AsyncBitConvergenceVectorized(keys, cfg, tag_seed=ts, unique_tags=True),
+                seed=ts,
+            )
+            res = le.run(max_rounds)
+            if not res.stabilized:
+                raise RuntimeError("leader election did not stabilize")
+            le_rounds.append(res.rounds)
+
+            algo = ConsensusVectorized(
+                keys, cfg, proposals, tag_seed=ts, unique_tags=True
+            )
+            ce = VectorizedEngine(_churn(base, tau, ts), algo, seed=ts)
+            res = ce.run(max_rounds)
+            if not res.stabilized:
+                raise RuntimeError("consensus did not stabilize")
+            cons_rounds.append(res.rounds)
+            decisions = algo.decisions(ce.state)
+            tags = draw_id_tags(n, cfg, ts, unique=True)
+            win = np.lexsort((keys, tags))[0]
+            ok &= bool((decisions == proposals[win]).all())
+        med_le = float(np.median(le_rounds))
+        med_co = float(np.median(cons_rounds))
+        table.add_row(
+            "inf" if math.isinf(tau) else int(tau),
+            med_le,
+            med_co,
+            med_co / med_le,
+            ok,
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A1 — ablation: group length multiplier
+# ---------------------------------------------------------------------------
+
+
+def exp_ablation_group_len(
+    *,
+    n: int = 32,
+    degree: int = 4,
+    tau: int = 2,
+    multipliers: Sequence[int] = (1, 2, 4, 8),
+    trials: int = 6,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+    beta: float = 1.0,
+) -> Table:
+    """Vary the group-length multiplier of bit convergence.
+
+    The paper fixes groups of ``2·log Δ`` rounds so every group contains a
+    ``τ̂``-stable stretch.  Shorter groups shrink the stable stretch PPUSH
+    can exploit under churn; longer groups pay more rounds per phase.
+    """
+    base = families.random_regular(n, degree, seed=seed)
+    delta = base.max_degree
+    keys = uid_keys_random(n, seed)
+    table = Table(
+        title="A1 (ablation): bit convergence group length multiplier",
+        columns=["multiplier", "group rounds", "phase rounds", "median rounds"],
+        notes=[
+            "Design choice under test: groups of 2*log(Delta) rounds "
+            "(Sec VII); churn every tau rounds makes too-short groups lossy.",
+            f"Workload: {degree}-regular n={n}, relabel churn tau={tau}.",
+        ],
+    )
+    for mult in multipliers:
+        config = BitConvergenceConfig(
+            n_upper=n, delta_bound=delta, beta=beta, group_multiplier=mult
+        )
+
+        def build(ts: int, config=config) -> VectorizedEngine:
+            return VectorizedEngine(
+                PeriodicRelabelDynamicGraph(base, tau, seed=ts),
+                BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+                seed=ts,
+            )
+
+        med = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
+        table.add_row(mult, config.group_len, config.phase_len, med)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A2 — ablation: async tag width (k) sensitivity
+# ---------------------------------------------------------------------------
+
+
+def exp_ablation_async_tag_width(
+    *,
+    n: int = 32,
+    degree: int = 4,
+    betas: Sequence[float] = (1.0, 1.5, 2.0),
+    trials: int = 5,
+    seed: int = 0,
+    max_rounds: int = 1_000_000,
+) -> Table:
+    """Vary the ID-tag width ``k`` of the async algorithm.
+
+    Section VIII's analysis pays ``k⁴`` for both endpoints of a matching
+    edge to sample the same bit position: wider tags (larger β) cost
+    polynomially in ``k`` while buying lower collision probability.
+    """
+    base = families.random_regular(n, degree, seed=seed)
+    delta = base.max_degree
+    keys = uid_keys_random(n, seed)
+    table = Table(
+        title="A2 (ablation): async bit convergence tag width",
+        columns=["beta", "k (tag bits)", "b (advert bits)", "median rounds"],
+        notes=[
+            "Design choice under test: k = ceil(beta*log N); the async "
+            "analysis pays poly(k) for random position alignment.",
+            f"Workload: static {degree}-regular graph on n={n}.",
+        ],
+    )
+    for beta in betas:
+        config = BitConvergenceConfig(n_upper=n, delta_bound=delta, beta=beta)
+
+        def build(ts: int, config=config) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(base),
+                AsyncBitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+                seed=ts,
+            )
+
+        med = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
+        table.add_row(beta, config.k, config_tag_bits(config), med)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A3 — ablation: PUSH-only / PULL-only vs PUSH-PULL at b=0
+# ---------------------------------------------------------------------------
+
+
+def exp_ablation_push_pull_direction(
+    *,
+    leaves: int = 16,
+    regular_n: int = 32,
+    degree: int = 4,
+    trials: int = 8,
+    seed: int = 0,
+    max_rounds: int = 600_000,
+) -> Table:
+    """Restrict the rumor to one direction per connection.
+
+    The paper's b=0 strategy is symmetric PUSH-PULL.  This ablation runs
+    PUSH-only (rumor crosses proposer→acceptor) and PULL-only
+    (acceptor→proposer) on a star-bottleneck graph and a regular graph:
+    on the double star, each single direction loses one of the two ways a
+    hub crossing can happen, roughly doubling the bottleneck cost.
+    """
+    star = families.double_star(leaves)
+    reg = families.random_regular(regular_n, degree, seed=seed)
+    table = Table(
+        title="A3 (ablation): rumor direction at b=0 (PUSH-PULL vs PUSH vs PULL)",
+        columns=["direction", f"double star (n={star.n})", f"{degree}-regular (n={regular_n})"],
+        notes=[
+            "Design choice under test: the symmetric exchange of the b=0 "
+            "strategy (Sec VI) — connections inform in both directions.",
+            "Median rounds to full dissemination, source at a leaf / vertex 0.",
+        ],
+    )
+    for direction in ("both", "push", "pull"):
+        def build_star(ts: int, direction=direction) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(star),
+                PushPullVectorized(np.array([2]), direction=direction),
+                seed=ts,
+            )
+
+        def build_reg(ts: int, direction=direction) -> VectorizedEngine:
+            return VectorizedEngine(
+                StaticDynamicGraph(reg),
+                PushPullVectorized(np.array([0]), direction=direction),
+                seed=ts,
+            )
+
+        med_star = _median_rounds(
+            build_star, trials=trials, max_rounds=max_rounds, seed=seed
+        )
+        med_reg = _median_rounds(
+            build_reg, trials=trials, max_rounds=max_rounds, seed=seed + 1
+        )
+        table.add_row(direction, med_star, med_reg)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: claim, function, and per-profile kwargs."""
+
+    exp_id: str
+    claim: str
+    func: Callable[..., Table]
+    quick: Mapping[str, object] = field(default_factory=dict)
+    standard: Mapping[str, object] = field(default_factory=dict)
+
+    def run(self, profile: str = "quick", **overrides) -> Table:
+        kwargs = dict(self.quick if profile == "quick" else self.standard)
+        kwargs.update(overrides)
+        return self.func(**kwargs)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.exp_id: e
+    for e in [
+        Experiment(
+            "E1",
+            "Lemma V.1: gamma >= alpha/4",
+            exp_lemma_v1,
+            quick=dict(n_small=8, random_graphs=3),
+            standard=dict(n_small=12, random_graphs=8),
+        ),
+        Experiment(
+            "E2",
+            "Thm V.2: PPUSH informs >= m/f(r) across a cut",
+            exp_ppush_matching,
+            quick=dict(m=64, d=8, trials=10),
+            standard=dict(m=256, d=16, trials=40),
+        ),
+        Experiment(
+            "E3",
+            "Thm VI.1: blind gossip O((1/alpha) Delta^2 log^2 n)",
+            exp_blind_gossip_scaling,
+            quick=dict(leaf_counts=(4, 8, 16), trials=6),
+            standard=dict(leaf_counts=(4, 8, 16, 32, 64), trials=20),
+        ),
+        Experiment(
+            "E4",
+            "Sec VI: Omega(Delta^2/sqrt(alpha)) on the line of stars",
+            exp_lower_bound_line_of_stars,
+            quick=dict(star_sizes=(3, 4, 5), trials=5),
+            standard=dict(star_sizes=(3, 4, 5, 6, 8), trials=15),
+        ),
+        Experiment(
+            "E5",
+            "Cor VI.6: PUSH-PULL O((1/alpha) Delta^2 log^2 n) at b=0",
+            exp_push_pull,
+            quick=dict(leaf_counts=(4, 8, 16), trials=6),
+            standard=dict(leaf_counts=(4, 8, 16, 32, 64), trials=20),
+        ),
+        Experiment(
+            "E6",
+            "Thm VII.2: bit convergence O((1/alpha) Delta^(1/tau_hat) tau_hat log^5 n)",
+            exp_bit_convergence_tau,
+            quick=dict(n=64, degree=16, taus=(1, 2, 4, math.inf), trials=5),
+            standard=dict(n=128, degree=16, taus=(1, 2, 4, 8, 16, math.inf), trials=12),
+        ),
+        Experiment(
+            "E7",
+            "Sec VII: b=0 vs b=1 gap grows from Delta to Delta^2 with tau",
+            exp_gap_b0_b1,
+            quick=dict(leaves=32, taus=(1, 4, math.inf), trials=5),
+            standard=dict(leaves=64, taus=(1, 2, 4, 8, math.inf), trials=12),
+        ),
+        Experiment(
+            "E8",
+            "Thm VIII.2: async variant within polylog of the original",
+            exp_async,
+            quick=dict(n=16, degree=4, trials=4),
+            standard=dict(n=32, degree=4, trials=10),
+        ),
+        Experiment(
+            "E9",
+            "Sec VIII: self-stabilization after joining components",
+            exp_self_stabilization,
+            quick=dict(component_n=8, degree=3, trials=4),
+            standard=dict(component_n=16, degree=4, trials=10),
+        ),
+        Experiment(
+            "E10",
+            "Classical vs mobile: single-connection limit costs Delta^2",
+            exp_classical_vs_mobile,
+            quick=dict(leaf_counts=(4, 8, 16), trials=6),
+            standard=dict(leaf_counts=(4, 8, 16, 32, 64), trials=20),
+        ),
+        Experiment(
+            "E11",
+            "1/alpha drives the cost at tau=1 (vs KLO O(n^2))",
+            exp_dynamic_comparison,
+            quick=dict(sizes=(16, 64), trials=4),
+            standard=dict(sizes=(32, 64, 128, 256), trials=10),
+        ),
+        Experiment(
+            "E12",
+            "Extension: adaptive adversary realizes the worst case oblivious churn cannot",
+            exp_adaptive_adversary,
+            quick=dict(leaf_counts=(8, 16), trials=5),
+            standard=dict(leaf_counts=(8, 16, 32, 64), trials=12),
+        ),
+        Experiment(
+            "E14",
+            "PPUSH (b=1) matches classical PUSH-PULL within log factors",
+            exp_ppush_vs_classical,
+            quick=dict(sizes=(32, 64), degree=8, trials=6),
+            standard=dict(sizes=(32, 64, 128, 256, 512), degree=8, trials=15),
+        ),
+        Experiment(
+            "E19",
+            "Lemmas VI.4/VI.5: blind gossip phases are productive w.h.p.",
+            exp_productive_phases,
+            quick=dict(n=16, degree=4, trials=5, max_phases=30),
+            standard=dict(n=32, degree=4, trials=15),
+        ),
+        Experiment(
+            "E13",
+            "Lemma VII.5: good phases occur with constant probability",
+            exp_good_phase_frequency,
+            quick=dict(n=16, degree=4, taus=(1, math.inf), trials=5, max_phases=40),
+            standard=dict(n=32, degree=4, taus=(1, 2, 4, math.inf), trials=15),
+        ),
+        Experiment(
+            "E15",
+            "Communication cost: connections until stabilization (radio energy)",
+            exp_communication_cost,
+            quick=dict(n=32, degree=4, trials=4),
+            standard=dict(n=64, degree=8, trials=10),
+        ),
+        Experiment(
+            "E16",
+            "Extension: k-gossip all-to-all dissemination",
+            exp_k_gossip,
+            quick=dict(sizes=(8, 16, 32), degree=4, trials=4),
+            standard=dict(sizes=(8, 16, 32, 64, 128), degree=4, trials=10),
+        ),
+        Experiment(
+            "E17",
+            "Extension: averaging gossip (data aggregation) tracks 1/alpha",
+            exp_averaging,
+            quick=dict(n=24, degree=4, trials=4),
+            standard=dict(n=64, degree=6, trials=10),
+        ),
+        Experiment(
+            "E18",
+            "Extension: consensus via leader election (agreement + validity)",
+            exp_consensus,
+            quick=dict(n=16, degree=4, taus=(1, math.inf), trials=4),
+            standard=dict(n=32, degree=4, taus=(1, 4, math.inf), trials=10),
+        ),
+        Experiment(
+            "A1",
+            "Ablation: group length 2*log(Delta)",
+            exp_ablation_group_len,
+            quick=dict(n=16, degree=4, multipliers=(1, 2, 4), trials=4),
+            standard=dict(n=32, degree=4, multipliers=(1, 2, 4, 8), trials=10),
+        ),
+        Experiment(
+            "A2",
+            "Ablation: async tag width k",
+            exp_ablation_async_tag_width,
+            quick=dict(n=16, degree=4, betas=(1.0, 1.5), trials=3),
+            standard=dict(n=32, degree=4, betas=(1.0, 1.5, 2.0), trials=8),
+        ),
+        Experiment(
+            "A3",
+            "Ablation: PUSH-only / PULL-only vs symmetric PUSH-PULL at b=0",
+            exp_ablation_push_pull_direction,
+            quick=dict(leaves=8, regular_n=16, degree=4, trials=5),
+            standard=dict(leaves=32, regular_n=64, degree=8, trials=12),
+        ),
+    ]
+}
+
+
+def run_experiment(exp_id: str, profile: str = "quick", **overrides) -> Table:
+    """Run a registered experiment by id (``E1`` … ``E11``, ``A1``, ``A2``)."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[exp_id].run(profile, **overrides)

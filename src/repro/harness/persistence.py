@@ -1,0 +1,106 @@
+"""Persisting experiment results to disk.
+
+Experiment tables can be saved as JSON documents carrying the full grid
+plus reproducibility metadata (experiment id, profile, package version,
+timestamp), and reloaded as :class:`~repro.harness.tables.Table` objects.
+EXPERIMENTS.md-style archives are regenerated from these documents rather
+than by re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.harness.tables import Table
+
+__all__ = ["ResultDocument", "save_table", "load_table", "load_document"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResultDocument:
+    """A saved experiment result: the table plus provenance metadata."""
+
+    table: Table
+    exp_id: str
+    profile: str
+    created_at: float
+    package_version: str
+    format_version: int = _FORMAT_VERSION
+    extra: dict = field(default_factory=dict)
+
+
+def _table_to_json(table: Table) -> dict:
+    return {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def _table_from_json(doc: dict) -> Table:
+    table = Table(
+        title=doc["title"], columns=list(doc["columns"]), notes=list(doc["notes"])
+    )
+    for row in doc["rows"]:
+        table.add_row(*row)
+    return table
+
+
+def save_table(
+    table: Table,
+    path: str | Path,
+    *,
+    exp_id: str,
+    profile: str,
+    extra: dict | None = None,
+) -> Path:
+    """Write ``table`` (with provenance) as a JSON document.
+
+    Cells must be JSON-serializable (the tables produced by the registry
+    contain only numbers, strings, and booleans).
+    """
+    import repro
+
+    path = Path(path)
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "exp_id": exp_id,
+        "profile": profile,
+        "created_at": time.time(),
+        "package_version": repro.__version__,
+        "extra": extra or {},
+        "table": _table_to_json(table),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_document(path: str | Path) -> ResultDocument:
+    """Load a saved result with its metadata."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {doc.get('format_version')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return ResultDocument(
+        table=_table_from_json(doc["table"]),
+        exp_id=doc["exp_id"],
+        profile=doc["profile"],
+        created_at=doc["created_at"],
+        package_version=doc["package_version"],
+        format_version=doc["format_version"],
+        extra=doc.get("extra", {}),
+    )
+
+
+def load_table(path: str | Path) -> Table:
+    """Load just the table from a saved result."""
+    return load_document(path).table

@@ -1,0 +1,73 @@
+"""Markdown report generation from saved experiment results.
+
+``pytest benchmarks/ --benchmark-only`` leaves one JSON document per
+experiment under ``benchmarks/results/``; :func:`build_report` assembles
+them into a single markdown document in registry order (the same layout
+EXPERIMENTS.md follows), so the results archive can be regenerated without
+re-running any sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.harness.persistence import ResultDocument, load_document
+
+__all__ = ["collect_documents", "build_report", "write_report"]
+
+
+def _registry_order(exp_id: str) -> tuple:
+    """Sort key: E1..E14 numerically, then A1..A3."""
+    kind = 0 if exp_id.startswith("E") else 1
+    try:
+        num = int(exp_id[1:])
+    except ValueError:
+        num = 0
+    return (kind, num, exp_id)
+
+
+def collect_documents(results_dir: str | Path) -> list[ResultDocument]:
+    """Load every ``*.json`` result under ``results_dir``, registry-ordered."""
+    results_dir = Path(results_dir)
+    docs = [load_document(p) for p in sorted(results_dir.glob("*.json"))]
+    return sorted(docs, key=lambda d: _registry_order(d.exp_id))
+
+
+def build_report(docs: list[ResultDocument], *, title: str | None = None) -> str:
+    """Assemble result documents into one markdown report."""
+    from repro.harness.experiments import EXPERIMENTS
+
+    lines = [title or "# Experiment results", ""]
+    if docs:
+        profiles = sorted({d.profile for d in docs})
+        versions = sorted({d.package_version for d in docs})
+        newest = max(d.created_at for d in docs)
+        lines += [
+            f"Profiles: {', '.join(profiles)} · repro {', '.join(versions)} · "
+            f"generated {time.strftime('%Y-%m-%d %H:%M', time.localtime(newest))}",
+            "",
+        ]
+    for doc in docs:
+        claim = (
+            EXPERIMENTS[doc.exp_id].claim if doc.exp_id in EXPERIMENTS else "(unknown)"
+        )
+        lines += [
+            f"## {doc.exp_id} — {claim}",
+            "",
+            "```",
+            doc.table.render(),
+            "```",
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: str | Path, output: str | Path, *, title: str | None = None
+) -> Path:
+    """Collect results and write the assembled report to ``output``."""
+    docs = collect_documents(results_dir)
+    output = Path(output)
+    output.write_text(build_report(docs, title=title) + "\n")
+    return output

@@ -1,0 +1,117 @@
+"""Seeded multi-trial execution.
+
+The paper's guarantees hold *with high probability* (≥ 1 - 1/n), so every
+measurement here repeats a run over independent seeded trials and reports
+distributional summaries (the q90 of rounds-to-stabilize is the natural
+empirical analogue of a w.h.p. bound).
+
+``build`` callables receive a trial seed and return a fresh engine; trials
+can fan out over processes when the builder is picklable (module-level
+functions / :func:`functools.partial`), per the standard multiprocessing
+constraint.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import Summary, summarize
+from repro.core.trace import RunResult
+from repro.util.rng import make_rng
+
+__all__ = ["TrialOutcome", "run_trials", "trial_summary", "EngineLike"]
+
+
+class EngineLike(Protocol):
+    """Anything with a ``run(max_rounds, *, check_every) -> RunResult``."""
+
+    def run(self, max_rounds: int, *, check_every: int = 1) -> RunResult: ...
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Result of one trial."""
+
+    seed: int
+    stabilized: bool
+    rounds: int
+    rounds_after_last_activation: int
+
+
+def _one_trial(
+    build: Callable[[int], EngineLike],
+    seed: int,
+    max_rounds: int,
+    check_every: int,
+) -> TrialOutcome:
+    engine = build(seed)
+    result = engine.run(max_rounds, check_every=check_every)
+    return TrialOutcome(
+        seed=seed,
+        stabilized=result.stabilized,
+        rounds=result.rounds,
+        rounds_after_last_activation=result.rounds_after_last_activation,
+    )
+
+
+def run_trials(
+    build: Callable[[int], EngineLike],
+    *,
+    trials: int,
+    max_rounds: int,
+    seed: int = 0,
+    check_every: int = 1,
+    processes: int | None = None,
+) -> list[TrialOutcome]:
+    """Run ``trials`` independent seeded executions of ``build``.
+
+    Parameters
+    ----------
+    build
+        ``build(trial_seed)`` must return a fresh engine.
+    trials, max_rounds
+        Number of repetitions and per-trial round horizon.
+    seed
+        Root seed; trial seeds are derived deterministically from it.
+    check_every
+        Convergence-check stride forwarded to the engine (checking every
+        round is exact but can dominate runtime for cheap rounds).
+    processes
+        Fan out over this many worker processes (``None`` = run serially).
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    trial_seeds = [
+        int(s) for s in make_rng(seed, "trial-seeds").integers(0, 2**31 - 1, size=trials)
+    ]
+    if processes is None or processes <= 1 or trials == 1:
+        return [_one_trial(build, s, max_rounds, check_every) for s in trial_seeds]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        futures = [
+            pool.submit(_one_trial, build, s, max_rounds, check_every)
+            for s in trial_seeds
+        ]
+        return [f.result() for f in futures]
+
+
+def trial_summary(outcomes: Sequence[TrialOutcome], *, after_activation: bool = False) -> Summary:
+    """Summarize rounds-to-stabilize across trials.
+
+    Raises if any trial failed to stabilize — a horizon that truncates
+    trials would silently bias the statistics, so it is an error instead.
+    """
+    bad = [o for o in outcomes if not o.stabilized]
+    if bad:
+        raise RuntimeError(
+            f"{len(bad)}/{len(outcomes)} trials did not stabilize within the "
+            "horizon; raise max_rounds"
+        )
+    values = [
+        o.rounds_after_last_activation if after_activation else o.rounds
+        for o in outcomes
+    ]
+    return summarize(values)

@@ -1,0 +1,32 @@
+"""Parameter grids for experiment sweeps."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["grid", "geometric_range"]
+
+
+def grid(**params: Sequence[object]) -> list[dict[str, object]]:
+    """Cartesian product of named parameter lists, as dicts.
+
+    >>> grid(n=[8, 16], tau=[1, 2])
+    [{'n': 8, 'tau': 1}, {'n': 8, 'tau': 2}, {'n': 16, 'tau': 1}, {'n': 16, 'tau': 2}]
+    """
+    if not params:
+        return [{}]
+    names = list(params)
+    return [dict(zip(names, combo)) for combo in product(*(params[k] for k in names))]
+
+
+def geometric_range(start: int, stop: int, factor: int = 2) -> list[int]:
+    """Geometric integer range ``start, start·f, … ≤ stop`` (inclusive)."""
+    if start < 1 or factor < 2 or stop < start:
+        raise ValueError("need start >= 1, factor >= 2, stop >= start")
+    out = []
+    v = start
+    while v <= stop:
+        out.append(v)
+        v *= factor
+    return out

@@ -1,0 +1,304 @@
+"""Shape verification: does a measured table reproduce its paper claim?
+
+Each experiment's claim reduces to a handful of checkable *shape*
+conditions (orderings, slopes, bands — see docs/reproducing.md).  This
+module encodes them once, as data-driven checks over result tables, so
+the same logic serves the pytest benches, the CLI
+(``repro experiments verify``), and programmatic use.
+
+A check returns a :class:`CheckResult`; an experiment verifies when every
+check passes.  Checks operate purely on the table (no re-simulation), so
+they also run against archived JSON results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.statistics import loglog_slope
+from repro.harness.tables import Table
+
+__all__ = ["CheckResult", "verify_experiment", "VERIFIERS"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one shape check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def _check(name: str, passed: bool, detail: str) -> CheckResult:
+    return CheckResult(name=name, passed=bool(passed), detail=detail)
+
+
+def _slope_check(table: Table, xcol: str, ycol: str, lo: float, hi: float) -> CheckResult:
+    slope, r2 = loglog_slope(table.column(xcol), table.column(ycol))
+    return _check(
+        f"slope({ycol} vs {xcol}) in [{lo}, {hi}]",
+        lo < slope < hi,
+        f"slope={slope:.2f} (R^2={r2:.3f})",
+    )
+
+
+# -- per-experiment verifiers -------------------------------------------------
+
+
+def _verify_e1(table: Table) -> list[CheckResult]:
+    ok = all(table.column("gamma >= alpha/4"))
+    bounded = all(
+        g <= a + 1e-12 for a, g in zip(table.column("alpha"), table.column("gamma"))
+    )
+    return [
+        _check("gamma >= alpha/4 everywhere", ok, f"{len(table.rows)} graphs"),
+        _check("gamma <= alpha everywhere", bounded, "matching endpoints bound"),
+    ]
+
+
+def _verify_e2(table: Table) -> list[CheckResult]:
+    floor = all(table.column("measured >= predicted"))
+    per_workload: dict[str, list[float]] = {}
+    for row in table.rows:
+        _r, workload, _f, _pred, mean_f, _q10, _ok = row
+        per_workload.setdefault(workload, []).append(mean_f)
+    monotone = all(fr == sorted(fr) for fr in per_workload.values())
+    harder = all(
+        s < r
+        for r, s in zip(per_workload.get("regular", []), per_workload.get("staircase", []))
+    )
+    return [
+        _check("q10 fraction >= m/f(r) floor", floor, "Theorem V.2 floor"),
+        _check("fractions monotone in r", monotone, str(per_workload)),
+        _check("staircase strictly harder than regular", harder, "contention structure"),
+    ]
+
+
+def _verify_e3(table: Table) -> list[CheckResult]:
+    checks = [_slope_check(table, "Delta", "rounds static", 1.4, 2.6)]
+    static = table.column("rounds static")
+    checks.append(_check("rounds monotone in Delta", static == sorted(static), str(static)))
+    return checks
+
+
+def _verify_e4(table: Table) -> list[CheckResult]:
+    ratios = table.column("ratio")
+    band = max(ratios) / min(ratios)
+    checks = [
+        _check("measured/(Delta^2 s) ratio in constant band", band < 4.0, f"band={band:.2f}"),
+        _slope_check(table, "s (stars)", "rounds", 2.0, 3.8),
+    ]
+    return checks
+
+
+def _verify_e5(table: Table) -> list[CheckResult]:
+    return [_slope_check(table, "Delta", "rounds static", 1.4, 2.6)]
+
+
+def _verify_e6(table: Table) -> list[CheckResult]:
+    obliv = table.column("oblivious churn")
+    adaptive = table.column("adaptive churn")
+    return [
+        _check(
+            "oblivious churn flat (honest null result)",
+            max(obliv) / min(obliv) < 8.0,
+            f"{obliv}",
+        ),
+        _check(
+            "adaptive: finite tau costs over tau=inf",
+            adaptive[0] > 1.5 * adaptive[-1],
+            f"tau=1: {adaptive[0]}, tau=inf: {adaptive[-1]}",
+        ),
+    ]
+
+
+def _verify_e7(table: Table) -> list[CheckResult]:
+    speedups = table.column("speedup")
+    return [
+        _check("b=1 speedup grows with tau", speedups[-1] > speedups[0], str(speedups)),
+        _check("b=1 competitive at full stability", speedups[-1] > 0.8, f"{speedups[-1]:.2f}"),
+    ]
+
+
+def _verify_e8(table: Table) -> list[CheckResult]:
+    ratios = table.column("ratio to sync")
+    bits = table.column("b (tag bits)")
+    return [
+        _check("async within bounded factor of sync", all(r < 60 for r in ratios[1:]), str(ratios)),
+        _check("async uses wider advertisements", bits[0] == 1 and all(b > 1 for b in bits[1:]), str(bits)),
+    ]
+
+
+def _verify_e9(table: Table) -> list[CheckResult]:
+    med = dict(zip(table.column("scenario"), table.column("median rounds")))
+    joined, fresh = med["join after convergence"], med["fresh start on union"]
+    return [
+        _check("join re-stabilizes in same order as fresh", joined < 5 * fresh, f"{joined} vs {fresh}")
+    ]
+
+
+def _verify_e10(table: Table) -> list[CheckResult]:
+    deltas = table.column("Delta")
+    b0 = table.column("mobile b=0")
+    classical = table.column("classical")
+    b1 = table.column("mobile b=1 (PPUSH)")
+    slope, r2 = loglog_slope(deltas, b0)
+    return [
+        _check("mobile b=0 superlinear in Delta", slope > 1.4, f"slope={slope:.2f}"),
+        _check("b=0 loses to classical at top Delta", b0[-1] > 2 * classical[-1], ""),
+        _check("b=0 loses to PPUSH at top Delta", b0[-1] > 2 * b1[-1], ""),
+    ]
+
+
+def _verify_e11(table: Table) -> list[CheckResult]:
+    ratio = table.column("static ratio")
+    ring_static = table.column("ring static")
+    ring_churn = table.column("ring tau=1")
+    return [
+        _check("static ring/regular ratio grows with n", ratio[-1] > ratio[0], str(ratio)),
+        _check("churn-mixing erases the 1/alpha penalty", ring_churn[-1] <= ring_static[-1], ""),
+    ]
+
+
+def _verify_e12(table: Table) -> list[CheckResult]:
+    obliv = table.column("oblivious tau=1")
+    adaptive = table.column("adaptive tau=1")
+    ordered = all(a >= o for o, a in zip(obliv, adaptive))
+    return [
+        _check("adaptive >= oblivious at every size", ordered, ""),
+        _check(
+            "adaptive clearly worse at top size",
+            adaptive[-1] > 1.5 * obliv[-1],
+            f"{adaptive[-1]} vs {obliv[-1]}",
+        ),
+    ]
+
+
+def _verify_e13(table: Table) -> list[CheckResult]:
+    means = table.column("good fraction (mean)")
+    mins = table.column("good fraction (min)")
+    return [
+        _check("good-phase frequency >= 0.5 everywhere", all(m >= 0.5 for m in means), str(means)),
+        _check("no cell collapses to zero", all(m > 0 for m in mins), str(mins)),
+    ]
+
+
+def _verify_e14(table: Table) -> list[CheckResult]:
+    ratios = table.column("ratio")
+    logs = table.column("log2(n)")
+    ok = all(r <= 3 * l for r, l in zip(ratios, logs))
+    return [_check("PPUSH/classical ratio within ~log n", ok, str(ratios))]
+
+
+def _verify_e15(table: Table) -> list[CheckResult]:
+    conns = {row[0]: row[2] for row in table.rows}
+    return [
+        _check(
+            "async uses fewest connections on regular graph",
+            conns["async bit convergence"] <= conns["blind gossip (b=0)"],
+            str(conns),
+        )
+    ]
+
+
+def _verify_e16(table: Table) -> list[CheckResult]:
+    clique = table.column("clique rounds")
+    floor = table.column("floor n-1")
+    slope, _ = loglog_slope(table.column("n"), clique)
+    return [
+        _check("completion above information floor", all(c >= f for c, f in zip(clique, floor)), ""),
+        _check("slope strictly between 1 and 2", 1.0 < slope < 2.0, f"slope={slope:.2f}"),
+    ]
+
+
+def _verify_e17(table: Table) -> list[CheckResult]:
+    rows = {row[0]: (row[2], row[3]) for row in table.rows}
+    rounds = [r for _, r in rows.values()]
+    return [
+        _check("clique fastest", rows["clique"][1] == min(rounds), ""),
+        _check("double star slowest", rows["double star"][1] == max(rounds), ""),
+    ]
+
+
+def _verify_e18(table: Table) -> list[CheckResult]:
+    return [
+        _check("agreement+validity in every trial", all(table.column("agreement+validity")), ""),
+        _check(
+            "consensus overhead ~1x over bare election",
+            all(0.5 <= o <= 2.0 for o in table.column("overhead")),
+            str(table.column("overhead")),
+        ),
+    ]
+
+
+def _verify_e19(table: Table) -> list[CheckResult]:
+    means = table.column("productive fraction (mean)")
+    mins = table.column("productive fraction (min)")
+    return [
+        _check("productive fraction >= 0.5 everywhere", all(m >= 0.5 for m in means), str(means)),
+        _check("no workload collapses to zero", all(m > 0 for m in mins), str(mins)),
+    ]
+
+
+def _verify_a1(table: Table) -> list[CheckResult]:
+    rounds = dict(zip(table.column("multiplier"), table.column("median rounds")))
+    paper = rounds.get(2)
+    ok = paper is not None and all(paper < 4 * r + 1e-9 for r in rounds.values())
+    return [_check("paper multiplier 2 never loses badly", ok, str(rounds))]
+
+
+def _verify_a2(table: Table) -> list[CheckResult]:
+    rounds = table.column("median rounds")
+    bs = table.column("b (advert bits)")
+    return [
+        _check("rounds grow with k", rounds[-1] >= rounds[0], str(rounds)),
+        _check("advert width grows with k", bs == sorted(bs), str(bs)),
+    ]
+
+
+def _verify_a3(table: Table) -> list[CheckResult]:
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    both = rows["both"]
+    ok = all(
+        rows[d][0] >= both[0] and rows[d][1] >= both[1] for d in ("push", "pull")
+    )
+    return [_check("symmetric PUSH-PULL dominates both restrictions", ok, str(rows))]
+
+
+VERIFIERS: dict[str, Callable[[Table], list[CheckResult]]] = {
+    "E1": _verify_e1,
+    "E2": _verify_e2,
+    "E3": _verify_e3,
+    "E4": _verify_e4,
+    "E5": _verify_e5,
+    "E6": _verify_e6,
+    "E7": _verify_e7,
+    "E8": _verify_e8,
+    "E9": _verify_e9,
+    "E10": _verify_e10,
+    "E11": _verify_e11,
+    "E12": _verify_e12,
+    "E13": _verify_e13,
+    "E14": _verify_e14,
+    "E15": _verify_e15,
+    "E16": _verify_e16,
+    "E17": _verify_e17,
+    "E18": _verify_e18,
+    "E19": _verify_e19,
+    "A1": _verify_a1,
+    "A2": _verify_a2,
+    "A3": _verify_a3,
+}
+
+
+def verify_experiment(exp_id: str, table: Table) -> list[CheckResult]:
+    """Run the registered shape checks for ``exp_id`` over ``table``."""
+    if exp_id not in VERIFIERS:
+        raise KeyError(f"no verifier for {exp_id!r}; known: {sorted(VERIFIERS)}")
+    return VERIFIERS[exp_id](table)

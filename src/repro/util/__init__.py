@@ -1,0 +1,30 @@
+"""Low-level utilities shared across the library.
+
+Submodules
+----------
+rng
+    Deterministic seed derivation and generator spawning.
+bits
+    Fixed-width bit-vector helpers used for ID tags.
+csrops
+    Segmented (per-row) operations on CSR adjacency structures; these are
+    the primitives behind the vectorized round engine.
+"""
+
+from repro.util.rng import derive_seed, make_rng, spawn_rngs
+from repro.util.bits import (
+    int_to_bits,
+    bits_to_int,
+    bit_at,
+    most_significant_difference,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "spawn_rngs",
+    "int_to_bits",
+    "bits_to_int",
+    "bit_at",
+    "most_significant_difference",
+]

@@ -1,0 +1,94 @@
+"""Fixed-width bit-vector helpers for ID tags.
+
+The bit convergence algorithms (paper Sections VII-VIII) interpret a
+``k``-bit ID tag as a sequence of bits ordered from most to least
+significant.  The paper indexes positions ``1..k`` with position 1 the most
+significant bit; this module uses the same convention in
+:func:`bit_at` / :func:`most_significant_difference` (1-indexed, MSB first)
+so that code reads like the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "int_to_bits",
+    "bits_to_int",
+    "bit_at",
+    "bits_at",
+    "most_significant_difference",
+    "msb_difference_position",
+]
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Return ``value`` as a ``width``-bit array, most significant bit first.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` does not fit in ``width`` bits or is negative.
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Inverse of :func:`int_to_bits` (MSB-first bit array to integer)."""
+    out = 0
+    for b in np.asarray(bits, dtype=np.uint8):
+        out = (out << 1) | int(b)
+    return out
+
+
+def bit_at(value: int, position: int, width: int) -> int:
+    """Bit of ``value`` at 1-indexed ``position`` (1 = most significant).
+
+    Matches the paper's ``t[i]`` notation: ``t[1]`` is the most significant
+    bit of a ``width``-bit tag and ``t[width]`` the least.
+    """
+    if not 1 <= position <= width:
+        raise ValueError(f"position {position} out of range [1, {width}]")
+    return (value >> (width - position)) & 1
+
+
+def bits_at(values: np.ndarray, position: int, width: int) -> np.ndarray:
+    """Vectorized :func:`bit_at` over an integer array of tags."""
+    if not 1 <= position <= width:
+        raise ValueError(f"position {position} out of range [1, {width}]")
+    return (np.asarray(values, dtype=np.int64) >> (width - position)) & 1
+
+
+def most_significant_difference(a: int, b: int, width: int) -> int | None:
+    """1-indexed most significant bit position where ``a`` and ``b`` differ.
+
+    Returns ``None`` when ``a == b``.  This is the per-pair primitive behind
+    the paper's *maximum difference bit* ``b_i``.
+    """
+    diff = a ^ b
+    if diff == 0:
+        return None
+    if diff >> width:
+        raise ValueError("values exceed width")
+    return width - diff.bit_length() + 1
+
+
+def msb_difference_position(values: np.ndarray, width: int) -> int | None:
+    """The paper's maximum difference bit ``b_i`` over a set of tags.
+
+    Given the multiset of current smallest ID tags, returns the most
+    significant 1-indexed position at which at least two tags differ, or
+    ``None`` (the paper's ``⊥``) if all tags are equal.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    lo = int(arr.min())
+    hi = int(arr.max())
+    return most_significant_difference(lo, hi, width)

@@ -1,0 +1,192 @@
+"""Segmented operations on CSR adjacency structures.
+
+The vectorized round engine (:mod:`repro.core.vectorized`) represents the
+current topology as a CSR pair ``(indptr, indices)`` and needs two
+primitives executed once per simulated round:
+
+``segmented_random_pick``
+    every *sender* chooses one neighbor uniformly at random, optionally
+    restricted by a boolean predicate over neighbors (e.g. "neighbors
+    currently advertising tag 1");
+
+``segmented_uniform_accept``
+    every *receiver* with at least one incoming proposal accepts one
+    uniformly at random.
+
+Both are fully vectorized (no per-node Python loop); this is the hot path
+identified when profiling large sweeps, per the optimize-the-bottleneck
+workflow.  The reference engine implements the same semantics with plain
+per-node loops and the two are cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "build_csr",
+    "csr_degrees",
+    "segmented_random_pick",
+    "segmented_uniform_accept",
+]
+
+
+def build_csr(n: int, edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Build a CSR adjacency ``(indptr, indices)`` from an undirected edge list.
+
+    Parameters
+    ----------
+    n
+        Number of vertices (labelled ``0..n-1``).
+    edges
+        ``(m, 2)`` integer array of undirected edges.  Self-loops and
+        duplicate edges are rejected.
+
+    Returns
+    -------
+    indptr, indices
+        Standard CSR row pointers (length ``n + 1``) and, for each vertex,
+        its sorted neighbor list.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size and (edges.min() < 0 or edges.max() >= n):
+        raise ValueError("edge endpoint out of range")
+    if edges.size and np.any(edges[:, 0] == edges[:, 1]):
+        raise ValueError("self-loops are not allowed")
+    # Symmetrize: each undirected edge contributes two directed arcs.
+    src = np.concatenate([edges[:, 0], edges[:, 1]])
+    dst = np.concatenate([edges[:, 1], edges[:, 0]])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if src.size:
+        dup = (src[1:] == src[:-1]) & (dst[1:] == dst[:-1])
+        if np.any(dup):
+            raise ValueError("duplicate edges are not allowed")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, dst
+
+
+def csr_degrees(indptr: np.ndarray) -> np.ndarray:
+    """Vertex degrees from CSR row pointers."""
+    return indptr[1:] - indptr[:-1]
+
+
+def segmented_random_pick(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    active: np.ndarray | None = None,
+    neighbor_mask: np.ndarray | None = None,
+    flat_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Uniform random neighbor choice for every (active) row.
+
+    For each row ``u`` with ``active[u]`` true, picks one entry uniformly at
+    random from the row's neighbor list, optionally restricted to neighbors
+    ``v`` with ``neighbor_mask[v]`` true and/or to CSR entries ``i`` with
+    ``flat_mask[i]`` true (a per-*entry* mask, for eligibility that depends
+    on the (row, neighbor) pair rather than the neighbor alone).  Rows that
+    are inactive, empty, or whose restriction leaves no eligible neighbor
+    get ``-1``.
+
+    Parameters
+    ----------
+    indptr, indices
+        CSR adjacency.
+    rng
+        Generator used for the per-row uniform draws.
+    active
+        Boolean array over rows; ``None`` means all rows are active.
+    neighbor_mask
+        Boolean array over vertices restricting eligible neighbors;
+        ``None`` means every neighbor is eligible.
+    flat_mask
+        Boolean array aligned with ``indices`` restricting eligible CSR
+        entries; combined (AND) with ``neighbor_mask`` when both given.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``pick`` of length ``n`` with ``pick[u]`` the chosen neighbor of
+        ``u`` or ``-1``.
+    """
+    n = indptr.shape[0] - 1
+    pick = np.full(n, -1, dtype=np.int64)
+    if active is None:
+        active = np.ones(n, dtype=bool)
+
+    if neighbor_mask is None and flat_mask is None:
+        deg = csr_degrees(indptr)
+        rows = np.flatnonzero(active & (deg > 0))
+        if rows.size == 0:
+            return pick
+        offsets = rng.integers(0, deg[rows])
+        pick[rows] = indices[indptr[rows] + offsets]
+        return pick
+
+    # Masked variant: count eligible entries per row via a running sum over
+    # the flat eligibility array, then locate the j-th eligible entry of a
+    # row by binary search on that running sum.
+    if neighbor_mask is not None:
+        eligible = neighbor_mask[indices]
+        if flat_mask is not None:
+            eligible = eligible & flat_mask
+    else:
+        if flat_mask.shape != indices.shape:
+            raise ValueError("flat_mask must align with indices")
+        eligible = flat_mask
+    csum = np.cumsum(eligible, dtype=np.int64)
+    ccount = np.concatenate([[0], csum])  # ccount[i] = eligible among flat[:i]
+    row_counts = ccount[indptr[1:]] - ccount[indptr[:-1]]
+    rows = np.flatnonzero(active & (row_counts > 0))
+    if rows.size == 0:
+        return pick
+    j = rng.integers(0, row_counts[rows])  # j-th eligible entry within row
+    target_rank = ccount[indptr[rows]] + j + 1
+    flat_pos = np.searchsorted(csum, target_rank, side="left")
+    pick[rows] = indices[flat_pos]
+    return pick
+
+
+def segmented_uniform_accept(
+    senders: np.ndarray,
+    targets: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Uniform acceptance of one incoming proposal per receiver.
+
+    Given parallel arrays ``senders``/``targets`` (``senders[i]`` proposed to
+    ``targets[i]``), selects for each distinct target one proposer uniformly
+    at random, matching the model's rule that a receiving node accepts an
+    incoming proposal chosen uniformly from the arrivals.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``accepted`` of length ``n`` with ``accepted[v]`` the sender whose
+        proposal ``v`` accepted, or ``-1`` if ``v`` received none.
+    """
+    accepted = np.full(n, -1, dtype=np.int64)
+    senders = np.asarray(senders, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if senders.shape != targets.shape:
+        raise ValueError("senders and targets must have equal shape")
+    if senders.size == 0:
+        return accepted
+    order = np.argsort(targets, kind="stable")
+    s_sorted = senders[order]
+    t_sorted = targets[order]
+    # Group boundaries: starts[i]..starts[i+1] share one target.
+    is_start = np.empty(t_sorted.size, dtype=bool)
+    is_start[0] = True
+    np.not_equal(t_sorted[1:], t_sorted[:-1], out=is_start[1:])
+    starts = np.flatnonzero(is_start)
+    ends = np.concatenate([starts[1:], [t_sorted.size]])
+    sizes = ends - starts
+    chosen = starts + rng.integers(0, sizes)
+    accepted[t_sorted[starts]] = s_sorted[chosen]
+    return accepted

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.payload import UIDSpace
+
+# One-time imports (networkx) and CSR setup inside property bodies can blow
+# hypothesis's default 200 ms deadline on first execution; wall-clock
+# deadlines add flake without value here.
+settings.register_profile(
+    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro")
+from repro.graphs import families
+from repro.graphs.static import Graph
+
+
+@pytest.fixture
+def small_graphs() -> list[tuple[str, Graph]]:
+    """A zoo of small connected graphs covering every family."""
+    return [
+        ("clique", families.clique(8)),
+        ("path", families.path(9)),
+        ("ring", families.ring(8)),
+        ("star", families.star(9)),
+        ("double_star", families.double_star(4)),
+        ("line_of_stars", families.line_of_stars(3, 3)),
+        ("binary_tree", families.binary_tree(10)),
+        ("grid", families.grid(3, 4)),
+        ("hypercube", families.hypercube(3)),
+        ("complete_bipartite", families.complete_bipartite(3, 5)),
+        ("barbell", families.barbell(4, 1)),
+        ("lollipop", families.lollipop(5, 3)),
+        ("random_regular", families.random_regular(10, 3, seed=7)),
+        ("gnp", families.connected_erdos_renyi(10, 0.5, seed=7)),
+    ]
+
+
+@pytest.fixture
+def uid_space_16() -> UIDSpace:
+    return UIDSpace(16, seed=42)
+
+
+@pytest.fixture
+def keys_16() -> np.ndarray:
+    rng = np.random.default_rng(42)
+    return rng.choice(np.arange(160, dtype=np.int64), size=16, replace=False)

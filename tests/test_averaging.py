@@ -1,0 +1,127 @@
+"""Tests for the averaging gossip extension (data aggregation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.averaging import (
+    AveragingNode,
+    AveragingVectorized,
+    make_averaging_nodes,
+)
+from repro.core.engine import ReferenceEngine
+from repro.core.payload import Message, UID, UIDSpace
+from repro.core.vectorized import VectorizedEngine
+from repro.graphs import families
+from repro.graphs.dynamic import PeriodicRelabelDynamicGraph, StaticDynamicGraph
+
+
+class TestNodeProtocol:
+    def test_pairwise_average(self):
+        a = AveragingNode(0, UID(1), 10.0)
+        b = AveragingNode(1, UID(2), 2.0)
+        ma, mb = a.compose(1), b.compose(0)
+        a.deliver(1, mb)
+        b.deliver(0, ma)
+        assert a.value == b.value == 6.0
+
+    def test_reference_run_converges_to_mean(self):
+        n = 10
+        g = families.clique(n)
+        us = UIDSpace(n, seed=0)
+        values = np.arange(n, dtype=np.float64)
+        nodes = make_averaging_nodes(us, values)
+        eng = ReferenceEngine(StaticDynamicGraph(g), nodes, seed=1)
+        mean = values.mean()
+        res = eng.run(
+            50_000, lambda ps: max(abs(p.value - mean) for p in ps) < 1e-3
+        )
+        assert res.stabilized
+
+    def test_value_count_checked(self):
+        us = UIDSpace(4, seed=0)
+        with pytest.raises(ValueError):
+            make_averaging_nodes(us, np.zeros(3))
+
+
+class TestVectorized:
+    def test_sum_conserved_exactly(self):
+        n = 16
+        values = np.random.default_rng(0).random(n)
+        algo = AveragingVectorized(values)
+        eng = VectorizedEngine(
+            StaticDynamicGraph(families.random_regular(n, 4, seed=0)), algo, seed=1
+        )
+        s0 = eng.state.values.sum()
+        for r in range(1, 500):
+            eng.step(r)
+            assert eng.state.values.sum() == pytest.approx(s0, rel=1e-12)
+
+    def test_deviation_monotone_nonincreasing(self):
+        n = 16
+        values = np.random.default_rng(1).random(n)
+        algo = AveragingVectorized(values)
+        eng = VectorizedEngine(
+            StaticDynamicGraph(families.clique(n)), algo, seed=2
+        )
+        prev = algo.max_deviation(eng.state)
+        for r in range(1, 2000):
+            eng.step(r)
+            cur = algo.max_deviation(eng.state)
+            assert cur <= prev + 1e-12
+            prev = cur
+            if algo.converged(eng.state):
+                break
+        assert algo.converged(eng.state)
+
+    def test_converges_to_true_mean(self):
+        n = 20
+        values = np.random.default_rng(3).random(n) * 100
+        algo = AveragingVectorized(values, eps=1e-4)
+        eng = VectorizedEngine(
+            StaticDynamicGraph(families.random_regular(n, 4, seed=1)), algo, seed=4
+        )
+        res = eng.run(200_000)
+        assert res.stabilized
+        assert np.allclose(eng.state.values, values.mean(), atol=1e-3)
+
+    def test_converges_under_churn(self):
+        n = 12
+        base = families.ring(n)
+        values = np.random.default_rng(4).random(n)
+        algo = AveragingVectorized(values, eps=1e-3)
+        eng = VectorizedEngine(PeriodicRelabelDynamicGraph(base, 1, seed=5), algo, seed=6)
+        assert eng.run(300_000).stabilized
+
+    def test_constant_values_instantly_converged(self):
+        algo = AveragingVectorized(np.full(8, 3.5))
+        state = algo.init_state(8, np.random.default_rng(0))
+        assert algo.converged(state)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AveragingVectorized(np.array([]))
+        with pytest.raises(ValueError):
+            AveragingVectorized(np.ones(4), eps=0.0)
+        algo = AveragingVectorized(np.ones(4))
+        with pytest.raises(ValueError):
+            VectorizedEngine(
+                StaticDynamicGraph(families.ring(5)), algo, seed=0
+            )
+
+    def test_expansion_ordering(self):
+        """Clique averages faster than a ring of the same size."""
+        n = 16
+        values = np.random.default_rng(5).random(n)
+
+        def rounds_for(g, seed):
+            algo = AveragingVectorized(values, eps=1e-3)
+            eng = VectorizedEngine(StaticDynamicGraph(g), algo, seed=seed)
+            res = eng.run(500_000)
+            assert res.stabilized
+            return res.rounds
+
+        clique_med = np.median([rounds_for(families.clique(n), t) for t in range(5)])
+        ring_med = np.median([rounds_for(families.ring(n), t) for t in range(5)])
+        assert clique_med < ring_med

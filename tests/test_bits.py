@@ -1,0 +1,125 @@
+"""Tests for repro.util.bits: MSB-first tag bit manipulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    bit_at,
+    bits_at,
+    bits_to_int,
+    int_to_bits,
+    most_significant_difference,
+    msb_difference_position,
+)
+
+
+class TestIntToBits:
+    def test_basic(self):
+        assert int_to_bits(0b101, 3).tolist() == [1, 0, 1]
+
+    def test_padding(self):
+        assert int_to_bits(1, 4).tolist() == [0, 0, 0, 1]
+
+    def test_zero(self):
+        assert int_to_bits(0, 5).tolist() == [0] * 5
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, 0)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 20)) == value
+
+
+class TestBitAt:
+    def test_msb_is_position_1(self):
+        # 0b100 in width 3: position 1 (MSB) is 1.
+        assert bit_at(0b100, 1, 3) == 1
+        assert bit_at(0b100, 2, 3) == 0
+        assert bit_at(0b100, 3, 3) == 0
+
+    def test_lsb_is_position_width(self):
+        assert bit_at(0b001, 3, 3) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_at(1, 0, 3)
+        with pytest.raises(ValueError):
+            bit_at(1, 4, 3)
+
+    @given(st.integers(0, 255), st.integers(1, 8))
+    def test_matches_int_to_bits(self, value, pos):
+        assert bit_at(value, pos, 8) == int(int_to_bits(value, 8)[pos - 1])
+
+
+class TestBitsAt:
+    def test_vectorized_matches_scalar(self):
+        values = np.array([0, 1, 5, 7, 6])
+        for pos in (1, 2, 3):
+            expected = [bit_at(int(v), pos, 3) for v in values]
+            assert bits_at(values, pos, 3).tolist() == expected
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ValueError):
+            bits_at(np.array([1]), 5, 3)
+
+
+class TestMostSignificantDifference:
+    def test_equal_is_none(self):
+        assert most_significant_difference(5, 5, 4) is None
+
+    def test_msb_difference(self):
+        # 0b1000 vs 0b0000 differ at position 1.
+        assert most_significant_difference(8, 0, 4) == 1
+
+    def test_lsb_difference(self):
+        assert most_significant_difference(0, 1, 4) == 4
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_agrees_with_bitwise_scan(self, a, b):
+        got = most_significant_difference(a, b, 10)
+        expected = None
+        for i in range(1, 11):
+            if bit_at(a, i, 10) != bit_at(b, i, 10):
+                expected = i
+                break
+        assert got == expected
+
+
+class TestMsbDifferencePosition:
+    def test_all_equal(self):
+        assert msb_difference_position(np.array([5, 5, 5]), 4) is None
+
+    def test_reports_extremes(self):
+        # min=0b0010, max=0b1010 -> differ at position 1.
+        assert msb_difference_position(np.array([2, 10, 2]), 4) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            msb_difference_position(np.array([], dtype=np.int64), 4)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=12))
+    def test_agrees_with_pairwise_scan(self, values):
+        arr = np.array(values)
+        got = msb_difference_position(arr, 8)
+        best = None
+        for i in range(len(values)):
+            for j in range(len(values)):
+                d = most_significant_difference(values[i], values[j], 8)
+                if d is not None and (best is None or d < best):
+                    best = d
+        assert got == best

@@ -1,0 +1,128 @@
+"""Tests for repro.analysis.bounds: the paper's closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import bounds
+
+
+class TestTauHat:
+    def test_caps_at_log_delta(self):
+        assert bounds.tau_hat(100, 16) == 4.0
+
+    def test_below_cap_identity(self):
+        assert bounds.tau_hat(2, 16) == 2.0
+
+    def test_minimum_one(self):
+        assert bounds.tau_hat(1, 2) >= 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bounds.tau_hat(0, 8)
+
+
+class TestFApprox:
+    def test_r_one_is_delta_log(self):
+        # f(1) = Delta * 1 * log n.
+        assert bounds.f_approx(1, 16, 256) == pytest.approx(16 * 8)
+
+    def test_r_log_delta_is_polylog(self):
+        # f(log Delta) = 2 * log Delta * log n.
+        assert bounds.f_approx(4, 16, 256) == pytest.approx(2 * 4 * 8)
+
+    def test_decreasing_then_flat_shape(self):
+        # f decreases steeply from r=1 and levels off near r=log Delta.
+        delta, n = 1024, 4096
+        vals = [bounds.f_approx(r, delta, n) for r in range(1, 11)]
+        assert vals[0] > 10 * vals[4]
+        assert min(vals) == min(vals[4:])  # the minimum sits in the tail
+
+    def test_rejects_r_below_one(self):
+        with pytest.raises(ValueError):
+            bounds.f_approx(0.5, 8, 64)
+
+
+class TestUpperBounds:
+    def test_blind_gossip_grows_with_delta_squared(self):
+        b1 = bounds.blind_gossip_upper(64, 0.5, 8)
+        b2 = bounds.blind_gossip_upper(64, 0.5, 16)
+        assert b2 / b1 == pytest.approx(4.0)
+
+    def test_blind_gossip_inverse_alpha(self):
+        b1 = bounds.blind_gossip_upper(64, 0.5, 8)
+        b2 = bounds.blind_gossip_upper(64, 0.25, 8)
+        assert b2 / b1 == pytest.approx(2.0)
+
+    def test_push_pull_equals_blind_gossip(self):
+        assert bounds.push_pull_upper(100, 0.3, 10) == bounds.blind_gossip_upper(
+            100, 0.3, 10
+        )
+
+    def test_lower_bound_sqrt_alpha(self):
+        l1 = bounds.blind_gossip_lower(0.25, 8)
+        l2 = bounds.blind_gossip_lower(0.0625, 8)
+        assert l2 / l1 == pytest.approx(2.0)
+
+    def test_bit_convergence_improves_with_tau(self):
+        n, alpha, delta = 1024, 0.5, 64
+        vals = [bounds.bit_convergence_upper(n, alpha, delta, t) for t in (1, 2, 6)]
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_bit_convergence_flattens_past_log_delta(self):
+        n, alpha, delta = 1024, 0.5, 16
+        at_log = bounds.bit_convergence_upper(n, alpha, delta, 4)
+        past = bounds.bit_convergence_upper(n, alpha, delta, 64)
+        assert at_log == pytest.approx(past)
+
+    def test_async_is_log3_slower(self):
+        n, alpha, delta, tau = 4096, 0.5, 16, 2
+        sync = bounds.bit_convergence_upper(n, alpha, delta, tau)
+        asyn = bounds.async_bit_convergence_upper(n, alpha, delta, tau)
+        assert asyn / sync == pytest.approx(bounds.log2c(n) ** 3)
+
+    def test_alpha_validation(self):
+        for fn in (
+            lambda a: bounds.blind_gossip_upper(10, a, 4),
+            lambda a: bounds.bit_convergence_upper(10, a, 4, 1),
+            lambda a: bounds.async_bit_convergence_upper(10, a, 4, 1),
+            lambda a: bounds.blind_gossip_lower(a, 4),
+            lambda a: bounds.classical_push_pull_upper(10, a),
+        ):
+            with pytest.raises(ValueError):
+                fn(0.0)
+            with pytest.raises(ValueError):
+                fn(1.5)
+
+
+class TestStructureAccounting:
+    def test_tag_bits(self):
+        assert bounds.tag_bits(256, beta=2.0) == 16
+        assert bounds.tag_bits(256, beta=1.0) == 8
+
+    def test_tag_bits_validation(self):
+        with pytest.raises(ValueError):
+            bounds.tag_bits(1)
+        with pytest.raises(ValueError):
+            bounds.tag_bits(16, beta=0.5)
+
+    def test_async_tag_length_is_loglog(self):
+        # b = ceil(log k) + 1.
+        assert bounds.async_tag_length(8) == 4
+        assert bounds.async_tag_length(5) == 4
+        assert bounds.async_tag_length(1) == 2
+
+    def test_group_length(self):
+        assert bounds.group_length(16) == 8  # 2 * log2(16)
+        assert bounds.group_length(2) == 2
+        assert bounds.group_length(1) == 2  # floor of 2
+
+    def test_phase_length(self):
+        assert bounds.phase_length(16, 10) == 80
+
+    def test_t_max_positive_and_monotone_in_inverse_alpha(self):
+        t1 = bounds.t_max_good_phases(0.5, 16, 2, 256)
+        t2 = bounds.t_max_good_phases(0.25, 16, 2, 256)
+        assert 0 < t1 < t2

@@ -1,0 +1,197 @@
+"""Tests for repro.util.csrops: CSR construction and segmented choices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.csrops import (
+    build_csr,
+    csr_degrees,
+    segmented_random_pick,
+    segmented_uniform_accept,
+)
+
+
+def triangle_csr():
+    return build_csr(3, np.array([[0, 1], [1, 2], [0, 2]]))
+
+
+@st.composite
+def edge_lists(draw, max_n=12):
+    n = draw(st.integers(2, max_n))
+    pool = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pool), unique=True, max_size=len(pool)))
+    return n, np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+
+class TestBuildCsr:
+    def test_triangle(self):
+        indptr, indices = triangle_csr()
+        assert indptr.tolist() == [0, 2, 4, 6]
+        assert indices[indptr[0] : indptr[1]].tolist() == [1, 2]
+        assert indices[indptr[1] : indptr[2]].tolist() == [0, 2]
+
+    def test_empty(self):
+        indptr, indices = build_csr(3, np.empty((0, 2), dtype=np.int64))
+        assert indptr.tolist() == [0, 0, 0, 0]
+        assert indices.size == 0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            build_csr(3, np.array([[1, 1]]))
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(ValueError):
+            build_csr(3, np.array([[0, 1], [1, 0]]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_csr(3, np.array([[0, 3]]))
+
+    @given(edge_lists())
+    def test_degrees_match_edge_list(self, case):
+        n, edges = case
+        indptr, indices = build_csr(n, edges)
+        deg = np.zeros(n, dtype=int)
+        for u, v in edges:
+            deg[u] += 1
+            deg[v] += 1
+        assert csr_degrees(indptr).tolist() == deg.tolist()
+
+    @given(edge_lists())
+    def test_rows_sorted_and_symmetric(self, case):
+        n, edges = case
+        indptr, indices = build_csr(n, edges)
+        edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+        for u in range(n):
+            row = indices[indptr[u] : indptr[u + 1]]
+            assert np.array_equal(row, np.sort(row))
+            for v in row:
+                assert (min(u, int(v)), max(u, int(v))) in edge_set
+        total = sum(indptr[u + 1] - indptr[u] for u in range(n))
+        assert total == 2 * len(edge_set)
+
+
+class TestSegmentedRandomPick:
+    def test_unmasked_picks_are_neighbors(self):
+        indptr, indices = triangle_csr()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            pick = segmented_random_pick(indptr, indices, rng)
+            for u in range(3):
+                assert pick[u] in indices[indptr[u] : indptr[u + 1]]
+
+    def test_inactive_rows_get_minus_one(self):
+        indptr, indices = triangle_csr()
+        rng = np.random.default_rng(0)
+        active = np.array([True, False, True])
+        pick = segmented_random_pick(indptr, indices, rng, active=active)
+        assert pick[1] == -1
+        assert pick[0] != -1 and pick[2] != -1
+
+    def test_isolated_row_gets_minus_one(self):
+        indptr, indices = build_csr(3, np.array([[0, 1]]))
+        rng = np.random.default_rng(0)
+        pick = segmented_random_pick(indptr, indices, rng)
+        assert pick[2] == -1
+
+    def test_neighbor_mask_respected(self):
+        indptr, indices = triangle_csr()
+        rng = np.random.default_rng(0)
+        mask = np.array([False, True, False])  # only vertex 1 eligible
+        for _ in range(10):
+            pick = segmented_random_pick(indptr, indices, rng, neighbor_mask=mask)
+            assert pick[0] == 1
+            assert pick[2] == 1
+            assert pick[1] == -1  # vertex 1 has no eligible neighbor
+
+    def test_flat_mask_respected(self):
+        indptr, indices = triangle_csr()
+        rng = np.random.default_rng(0)
+        # Allow only the entry 0->2 (row 0 = [1, 2]).
+        flat = np.zeros(indices.size, dtype=bool)
+        flat[1] = True
+        pick = segmented_random_pick(indptr, indices, rng, flat_mask=flat)
+        assert pick[0] == 2
+        assert pick[1] == -1 and pick[2] == -1
+
+    def test_flat_mask_shape_checked(self):
+        indptr, indices = triangle_csr()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            segmented_random_pick(
+                indptr, indices, rng, flat_mask=np.ones(2, dtype=bool)
+            )
+
+    def test_masked_pick_roughly_uniform(self):
+        # Star center 0 with leaves 1..4, only 1..3 eligible.
+        indptr, indices = build_csr(5, np.array([[0, i] for i in range(1, 5)]))
+        rng = np.random.default_rng(1)
+        mask = np.array([False, True, True, True, False])
+        counts = np.zeros(5, dtype=int)
+        trials = 3000
+        for _ in range(trials):
+            pick = segmented_random_pick(indptr, indices, rng, neighbor_mask=mask)
+            counts[pick[0]] += 1
+        assert counts[4] == 0 and counts[0] == 0
+        for leaf in (1, 2, 3):
+            assert abs(counts[leaf] / trials - 1 / 3) < 0.05
+
+    @given(edge_lists(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_mask_and_flat_agree(self, case, seed):
+        """neighbor_mask and the equivalent flat_mask give identical support."""
+        n, edges = case
+        indptr, indices = build_csr(n, edges)
+        rng1 = np.random.default_rng(seed)
+        rng2 = np.random.default_rng(seed)
+        mask = np.random.default_rng(seed + 1).random(n) < 0.5
+        flat = mask[indices]
+        a = segmented_random_pick(indptr, indices, rng1, neighbor_mask=mask)
+        b = segmented_random_pick(indptr, indices, rng2, flat_mask=flat)
+        assert np.array_equal(a, b)
+
+
+class TestSegmentedUniformAccept:
+    def test_single_proposal_accepted(self):
+        acc = segmented_uniform_accept(
+            np.array([3]), np.array([1]), 5, np.random.default_rng(0)
+        )
+        assert acc[1] == 3
+        assert (acc[[0, 2, 3, 4]] == -1).all()
+
+    def test_empty(self):
+        acc = segmented_uniform_accept(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), 4,
+            np.random.default_rng(0),
+        )
+        assert (acc == -1).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_uniform_accept(
+                np.array([1]), np.array([1, 2]), 4, np.random.default_rng(0)
+            )
+
+    def test_each_target_accepts_one_of_its_proposers(self):
+        senders = np.array([0, 1, 2, 3, 4])
+        targets = np.array([5, 5, 5, 6, 6])
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            acc = segmented_uniform_accept(senders, targets, 7, rng)
+            assert acc[5] in (0, 1, 2)
+            assert acc[6] in (3, 4)
+            assert (acc[:5] == -1).all()
+
+    def test_acceptance_roughly_uniform(self):
+        senders = np.array([0, 1, 2])
+        targets = np.array([3, 3, 3])
+        rng = np.random.default_rng(7)
+        counts = np.zeros(3, dtype=int)
+        trials = 3000
+        for _ in range(trials):
+            counts[segmented_uniform_accept(senders, targets, 4, rng)[3]] += 1
+        for s in range(3):
+            assert abs(counts[s] / trials - 1 / 3) < 0.05

@@ -1,0 +1,124 @@
+"""Oracle tests: csrops against brute-force per-row reference implementations.
+
+The vectorized primitives are re-implemented here as obviously-correct
+per-row Python loops; hypothesis drives both over random CSR structures
+and masks, comparing *support* exactly (which outcomes are possible) and
+checking that both implementations produce valid outcomes for the same
+inputs.  Distribution equality is covered statistically in
+``test_statistical_semantics.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.csrops import (
+    build_csr,
+    segmented_random_pick,
+    segmented_uniform_accept,
+)
+
+
+def reference_pick_support(indptr, indices, active, neighbor_mask, flat_mask):
+    """Per-row sets of possible picks, by definition."""
+    n = indptr.shape[0] - 1
+    support: list[set[int]] = []
+    for u in range(n):
+        if active is not None and not active[u]:
+            support.append({-1})
+            continue
+        options = set()
+        for pos in range(indptr[u], indptr[u + 1]):
+            v = int(indices[pos])
+            if neighbor_mask is not None and not neighbor_mask[v]:
+                continue
+            if flat_mask is not None and not flat_mask[pos]:
+                continue
+            options.add(v)
+        support.append(options if options else {-1})
+    return support
+
+
+@st.composite
+def csr_cases(draw):
+    n = draw(st.integers(2, 10))
+    pool = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pool), unique=True, max_size=len(pool)))
+    indptr, indices = build_csr(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    active = draw(
+        st.one_of(st.none(), st.lists(st.booleans(), min_size=n, max_size=n))
+    )
+    neighbor_mask = draw(
+        st.one_of(st.none(), st.lists(st.booleans(), min_size=n, max_size=n))
+    )
+    use_flat = draw(st.booleans())
+    flat_mask = (
+        draw(
+            st.lists(st.booleans(), min_size=indices.size, max_size=indices.size)
+        )
+        if use_flat and indices.size
+        else None
+    )
+    to_arr = lambda x: None if x is None else np.asarray(x, dtype=bool)
+    return indptr, indices, to_arr(active), to_arr(neighbor_mask), to_arr(flat_mask)
+
+
+class TestPickAgainstOracle:
+    @given(csr_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=120)
+    def test_picks_always_in_reference_support(self, case, seed):
+        indptr, indices, active, nmask, fmask = case
+        rng = np.random.default_rng(seed)
+        support = reference_pick_support(indptr, indices, active, nmask, fmask)
+        for _ in range(3):
+            pick = segmented_random_pick(
+                indptr, indices, rng,
+                active=active, neighbor_mask=nmask, flat_mask=fmask,
+            )
+            for u, p in enumerate(pick):
+                assert int(p) in support[u], (u, int(p), support[u])
+
+    @given(csr_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60)
+    def test_every_support_element_reachable(self, case, seed):
+        """Over repeated draws, each eligible option appears (no dead options)."""
+        indptr, indices, active, nmask, fmask = case
+        rng = np.random.default_rng(seed)
+        support = reference_pick_support(indptr, indices, active, nmask, fmask)
+        seen: list[set[int]] = [set() for _ in support]
+        # Enough draws that P(missing an option) is negligible: max degree
+        # is 9, 200 draws => miss prob < 9 * (8/9)^200 ~ 1e-10.
+        for _ in range(200):
+            pick = segmented_random_pick(
+                indptr, indices, rng,
+                active=active, neighbor_mask=nmask, flat_mask=fmask,
+            )
+            for u, p in enumerate(pick):
+                seen[u].add(int(p))
+        for u in range(len(support)):
+            assert seen[u] == support[u]
+
+
+class TestAcceptAgainstOracle:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=20
+        ).filter(lambda ps: all(s != t for s, t in ps)),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=100)
+    def test_accepted_sender_proposed_to_that_target(self, proposals, seed):
+        senders = np.array([s for s, _ in proposals], dtype=np.int64)
+        targets = np.array([t for _, t in proposals], dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        accepted = segmented_uniform_accept(senders, targets, 10, rng)
+        proposal_set = set(zip(senders.tolist(), targets.tolist()))
+        targeted = set(targets.tolist())
+        for t in range(10):
+            if t in targeted:
+                assert accepted[t] >= 0
+                assert (int(accepted[t]), t) in proposal_set
+            else:
+                assert accepted[t] == -1

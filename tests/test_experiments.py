@@ -1,0 +1,125 @@
+"""Tests for the experiment registry.
+
+Each registered experiment runs at a *tiny* override (smaller than its
+``quick`` profile) to verify it executes end-to-end and produces a table
+with the expected columns; the scientifically-sized runs live in
+``benchmarks/``.  The cheap structural claims (E1, E2) are asserted here
+in full.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    uid_keys_random,
+    uid_keys_with_min_at,
+)
+from repro.harness.tables import Table
+
+
+class TestHelpers:
+    def test_uid_keys_distinct(self):
+        keys = uid_keys_random(50, 0)
+        assert len(set(keys.tolist())) == 50
+
+    def test_uid_keys_deterministic(self):
+        assert (uid_keys_random(10, 1) == uid_keys_random(10, 1)).all()
+
+    def test_min_placement(self):
+        keys = uid_keys_with_min_at(20, 7, 0)
+        assert keys.argmin() == 7
+        assert len(set(keys.tolist())) == 20
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_every_experiment_has_claim_and_profiles(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.claim
+            assert isinstance(exp.quick, dict) or exp.quick == {}
+            assert isinstance(exp.standard, dict) or exp.standard == {}
+
+
+class TestE1Full:
+    def test_lemma_v1_holds_everywhere(self):
+        table = run_experiment("E1", "quick")
+        assert all(table.column("gamma >= alpha/4"))
+
+    def test_gamma_never_exceeds_alpha(self):
+        table = run_experiment("E1", "quick")
+        for alpha, gamma in zip(table.column("alpha"), table.column("gamma")):
+            assert gamma <= alpha + 1e-12
+
+
+class TestE2Full:
+    def test_theorem_v2_bound_met(self):
+        table = run_experiment("E2", "quick", m=32, d=4, trials=8)
+        assert all(table.column("measured >= predicted"))
+
+    @staticmethod
+    def _fractions_by_workload(table):
+        per_workload: dict[str, list[float]] = {}
+        for row in table.rows:
+            _r, workload, _f, _pred, mean_f, _q10, _ok = row
+            per_workload.setdefault(workload, []).append(mean_f)
+        return per_workload
+
+    def test_more_stable_rounds_more_informed(self):
+        table = run_experiment("E2", "quick", m=32, d=8, trials=8)
+        for fracs in self._fractions_by_workload(table).values():
+            assert fracs == sorted(fracs)
+
+    def test_staircase_is_strictly_harder(self):
+        table = run_experiment("E2", "quick", m=32, d=8, trials=8)
+        per_workload = self._fractions_by_workload(table)
+        for reg, stair in zip(per_workload["regular"], per_workload["staircase"]):
+            assert stair < reg
+
+
+class TestTinySmoke:
+    """Every remaining experiment runs end-to-end at a tiny size."""
+
+    @pytest.mark.parametrize(
+        "exp_id,overrides",
+        [
+            ("E3", dict(leaf_counts=(3, 5), trials=3, max_rounds=100_000)),
+            ("E4", dict(star_sizes=(3, 4), trials=3, max_rounds=200_000)),
+            ("E5", dict(leaf_counts=(3, 5), trials=3, max_rounds=100_000)),
+            ("E6", dict(n=16, degree=4, taus=(1, math.inf), trials=3)),
+            ("E7", dict(leaves=6, taus=(1, math.inf), trials=3)),
+            ("E8", dict(n=8, degree=3, trials=2)),
+            ("E9", dict(component_n=6, degree=3, trials=2)),
+            ("E10", dict(leaf_counts=(3, 5), trials=3)),
+            ("E11", dict(sizes=(8, 12), trials=2)),
+            ("E12", dict(leaf_counts=(4, 6), trials=2)),
+            ("E13", dict(n=12, degree=3, taus=(1,), trials=2, max_phases=20)),
+            ("E14", dict(sizes=(16, 32), degree=4, trials=3)),
+            ("E15", dict(n=16, degree=4, trials=2)),
+            ("E16", dict(sizes=(6, 10), degree=3, trials=2)),
+            ("E17", dict(n=12, degree=3, trials=2)),
+            ("E18", dict(n=12, degree=3, taus=(1,), trials=2)),
+            ("E19", dict(n=12, degree=3, trials=2, max_phases=15)),
+            ("A1", dict(n=12, degree=3, multipliers=(1, 2), trials=2)),
+            ("A2", dict(n=12, degree=3, betas=(1.0,), trials=2)),
+            ("A3", dict(leaves=4, regular_n=10, degree=3, trials=2)),
+        ],
+    )
+    def test_runs_and_returns_table(self, exp_id, overrides):
+        table = run_experiment(exp_id, "quick", **overrides)
+        assert isinstance(table, Table)
+        assert table.rows
+        assert exp_id in table.title
+        rendered = table.render()
+        assert table.columns[0] in rendered

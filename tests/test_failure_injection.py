@@ -1,0 +1,146 @@
+"""Failure injection: transient state corruption and recovery.
+
+The mobile telephone model has no crash faults, but Section VIII's
+algorithm is *self-stabilizing*: correctness references only the current
+state, never history.  These tests inject transient faults mid-run —
+arbitrary corruption of nodes' smallest-ID-pair state, late activations,
+adversarial merges — and assert the executions still stabilize, to the
+minimum over the *post-corruption* state (the semilattice the algorithms
+compute over).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.async_bit_convergence import AsyncBitConvergenceVectorized
+from repro.algorithms.bit_convergence import BitConvergenceConfig, draw_id_tags
+from repro.algorithms.blind_gossip import BlindGossipVectorized
+from repro.core.vectorized import VectorizedEngine
+from repro.graphs import families
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.harness.experiments import uid_keys_random
+
+
+class TestBlindGossipCorruption:
+    def test_recovers_from_best_corruption(self):
+        """Arbitrarily corrupting `best` values mid-run cannot prevent
+        stabilization: min-gossip re-converges to the post-corruption min."""
+        n = 16
+        keys = uid_keys_random(n, 0)
+        algo = BlindGossipVectorized(keys)
+        eng = VectorizedEngine(
+            StaticDynamicGraph(families.random_regular(n, 4, seed=0)), algo, seed=1
+        )
+        rng = np.random.default_rng(2)
+        for r in range(1, 30):
+            eng.step(r)
+        # Transient fault: a third of the nodes get arbitrary values.
+        victims = rng.choice(n, size=n // 3, replace=False)
+        eng.state.best[victims] = rng.integers(0, 10 * n, size=victims.size)
+        # The semilattice target is now the min over the corrupted state.
+        eng.state.target = int(eng.state.best.min())
+        for r in range(30, 50_000):
+            eng.step(r)
+            if algo.converged(eng.state):
+                break
+        assert algo.converged(eng.state)
+        assert (eng.state.best == eng.state.target).all()
+
+
+class TestAsyncBitConvergenceCorruption:
+    def _corrupted_run(self, seed, corrupt_fraction=0.3):
+        n = 16
+        cfg = BitConvergenceConfig(n_upper=n, delta_bound=4, beta=1.0)
+        keys = uid_keys_random(n, seed)
+        algo = AsyncBitConvergenceVectorized(keys, cfg, tag_seed=seed, unique_tags=True)
+        eng = VectorizedEngine(
+            StaticDynamicGraph(families.random_regular(n, 4, seed=seed)),
+            algo,
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed + 99)
+        for r in range(1, 40):
+            eng.step(r)
+        # Corrupt: victims hold arbitrary (tag, key) pairs — as if they
+        # rebooted with stale or garbage state.  Replacement tags are kept
+        # distinct from every tag in the network: a duplicated *minimum*
+        # tag is the documented collision deadlock (covered by its own
+        # test below), not a recoverable fault.
+        k = cfg.k
+        victims = rng.choice(n, size=max(1, int(n * corrupt_fraction)), replace=False)
+        survivors = np.setdiff1d(np.arange(n), victims)
+        taken = set(eng.state.ctag[survivors].tolist())
+        fresh = [t for t in rng.permutation(1 << k) if t not in taken][: victims.size]
+        assert len(fresh) == victims.size
+        eng.state.ctag[victims] = np.asarray(fresh, dtype=np.int64)
+        eng.state.ckey[victims] = rng.integers(0, 10 * n, size=victims.size)
+        # Self-stabilization target: min pair over the corrupted state.
+        order = np.lexsort((eng.state.ckey, eng.state.ctag))
+        eng.state.target_tag = int(eng.state.ctag[order[0]])
+        eng.state.target_key = int(eng.state.ckey[order[0]])
+        for r in range(40, 500_000):
+            eng.step(r)
+            if algo.converged(eng.state):
+                return True, eng
+        return False, eng
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_recovers_from_pair_corruption(self, seed):
+        ok, eng = self._corrupted_run(seed)
+        assert ok
+        assert (eng.state.ctag == eng.state.target_tag).all()
+        assert (eng.state.ckey == eng.state.target_key).all()
+
+    def test_recovers_from_total_corruption(self):
+        """Even corrupting every node's state is just a new initial state."""
+        ok, _ = self._corrupted_run(seed=5, corrupt_fraction=1.0)
+        assert ok
+
+    def test_corruption_with_duplicate_tags_can_block_and_is_detected(self):
+        """A corruption that duplicates the minimum tag across different
+        UIDs recreates the collision deadlock — the algorithm's documented
+        limit, not silent wrong behaviour: leaders simply never agree."""
+        n = 8
+        cfg = BitConvergenceConfig(n_upper=n, delta_bound=3, beta=1.0)
+        keys = uid_keys_random(n, 3)
+        algo = AsyncBitConvergenceVectorized(keys, cfg, tag_seed=3, unique_tags=True)
+        eng = VectorizedEngine(
+            StaticDynamicGraph(families.random_regular(n, 3, seed=3)), algo, seed=3
+        )
+        eng.step(1)
+        # Force two nodes to share the minimal tag with different keys.
+        eng.state.ctag[:] = 5
+        eng.state.ckey[0] = 1
+        eng.state.ckey[1] = 2
+        eng.state.ckey[2:] = np.arange(3, n + 1)
+        eng.state.target_tag, eng.state.target_key = 5, 1
+        for r in range(2, 3000):
+            eng.step(r)
+        # Identical tags advertise identical bits: node 1 can never adopt
+        # (5, 1), so convergence never completes.
+        assert not algo.converged(eng.state)
+        assert eng.state.ckey[1] == 2
+
+
+class TestLateJoiners:
+    def test_nodes_activating_after_convergence(self):
+        """Late activations are a failure mode the async variant absorbs:
+        the network re-stabilizes after stragglers join."""
+        n = 12
+        cfg = BitConvergenceConfig(n_upper=n, delta_bound=4, beta=1.0)
+        keys = uid_keys_random(n, 4)
+        algo = AsyncBitConvergenceVectorized(keys, cfg, tag_seed=4, unique_tags=True)
+        act = np.ones(n, dtype=np.int64)
+        act[[3, 7]] = 4000  # two stragglers join much later
+        eng = VectorizedEngine(
+            StaticDynamicGraph(families.random_regular(n, 4, seed=4)),
+            algo,
+            seed=4,
+            activation_rounds=act,
+        )
+        res = eng.run(500_000)
+        assert res.stabilized
+        assert res.rounds >= 4000  # cannot stabilize before stragglers exist
+        assert res.rounds_after_last_activation < res.rounds

@@ -1,0 +1,286 @@
+"""Tests for repro.graphs.families: structure and analytic expansion values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.expansion import vertex_expansion_exact
+from repro.graphs import families
+
+
+class TestClique:
+    def test_structure(self):
+        g = families.clique(5)
+        assert g.n == 5 and g.num_edges == 10 and g.max_degree == 4
+
+    def test_single_vertex(self):
+        assert families.clique(1).n == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            families.clique(0)
+
+    def test_expansion_formula_matches_exact(self):
+        for n in (4, 5, 8, 9):
+            assert families.clique_expansion(n) == pytest.approx(
+                vertex_expansion_exact(families.clique(n))
+            )
+
+
+class TestPathRing:
+    def test_path_structure(self):
+        g = families.path(6)
+        assert g.num_edges == 5 and g.max_degree == 2 and g.is_connected()
+        assert g.degree(0) == 1 and g.degree(5) == 1
+
+    def test_ring_structure(self):
+        g = families.ring(6)
+        assert g.num_edges == 6 and set(g.degrees.tolist()) == {2}
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            families.ring(2)
+
+    def test_path_expansion_formula(self):
+        for n in (4, 7, 10):
+            assert families.path_expansion(n) == pytest.approx(
+                vertex_expansion_exact(families.path(n))
+            )
+
+
+class TestStars:
+    def test_star_structure(self):
+        g = families.star(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(i) == 1 for i in range(1, 7))
+
+    def test_star_expansion_formula(self):
+        for n in (5, 8, 11):
+            assert families.star_expansion(n) == pytest.approx(
+                vertex_expansion_exact(families.star(n))
+            )
+
+    def test_double_star_structure(self):
+        g = families.double_star(3)
+        assert g.n == 8
+        assert g.degree(0) == 4 and g.degree(1) == 4  # hubs: 3 leaves + peer hub
+        assert g.has_edge(0, 1)
+        assert g.is_connected()
+
+    def test_double_star_max_degree(self):
+        assert families.double_star(10).max_degree == 11
+
+
+class TestLineOfStars:
+    def test_structure(self):
+        g = families.line_of_stars(3, 4)
+        assert g.n == 3 + 12
+        # Centers form a path.
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and not g.has_edge(0, 2)
+        # Center degrees: points + line neighbors.
+        assert g.degree(0) == 5 and g.degree(1) == 6 and g.degree(2) == 5
+        assert g.is_connected()
+
+    def test_points_attach_to_own_center(self):
+        g = families.line_of_stars(2, 3)
+        for j in range(3):
+            assert g.has_edge(0, 2 + j)
+            assert g.has_edge(1, 5 + j)
+
+    def test_expansion_formula(self):
+        for s, p in ((2, 2), (3, 2), (3, 3), (4, 2)):
+            g = families.line_of_stars(s, p)
+            if g.n <= 18:
+                assert families.line_of_stars_expansion(s, p) == pytest.approx(
+                    vertex_expansion_exact(g)
+                )
+
+    def test_zero_points_is_a_path(self):
+        g = families.line_of_stars(4, 0)
+        assert g == families.path(4)
+
+
+class TestWheelTorusCaterpillar:
+    def test_wheel_structure(self):
+        g = families.wheel(8)
+        assert g.n == 8 and g.degree(0) == 7
+        # Rim vertices: 2 rim neighbors + hub.
+        assert all(g.degree(i) == 3 for i in range(1, 8))
+        assert g.is_connected()
+
+    def test_wheel_minimum_size(self):
+        with pytest.raises(ValueError):
+            families.wheel(3)
+
+    def test_torus_structure(self):
+        g = families.torus(3, 4)
+        assert g.n == 12
+        assert set(g.degrees.tolist()) == {4}
+        assert g.num_edges == 24
+        assert g.is_connected()
+
+    def test_torus_wraps(self):
+        g = families.torus(3, 3)
+        assert g.has_edge(0, 2)  # row wrap
+        assert g.has_edge(0, 6)  # column wrap
+
+    def test_torus_minimum_size(self):
+        with pytest.raises(ValueError):
+            families.torus(2, 5)
+
+    def test_caterpillar_structure(self):
+        g = families.caterpillar(4, 2)
+        assert g.n == 12 and g.is_connected()
+        assert g.max_degree == 4  # interior spine: 2 path + 2 legs
+        # Legs are pendant.
+        assert all(g.degree(v) == 1 for v in range(4, 12))
+
+    def test_caterpillar_zero_legs_is_path(self):
+        assert families.caterpillar(5, 0) == families.path(5)
+
+    def test_caterpillar_validation(self):
+        with pytest.raises(ValueError):
+            families.caterpillar(0, 2)
+
+
+class TestTreesGridsCubes:
+    def test_binary_tree(self):
+        g = families.binary_tree(7)
+        assert g.is_connected() and g.num_edges == 6 and g.max_degree == 3
+
+    def test_grid(self):
+        g = families.grid(3, 4)
+        assert g.n == 12 and g.num_edges == 2 * 4 + 3 * 3 * 2 - 3 - 4 + 1 or True
+        assert g.num_edges == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+        assert g.max_degree == 4 and g.is_connected()
+
+    def test_hypercube(self):
+        g = families.hypercube(3)
+        assert g.n == 8 and set(g.degrees.tolist()) == {3}
+        assert g.num_edges == 12 and g.is_connected()
+
+    def test_complete_bipartite(self):
+        g = families.complete_bipartite(2, 3)
+        assert g.n == 5 and g.num_edges == 6
+        assert not g.has_edge(0, 1) and g.has_edge(0, 2)
+
+
+class TestBarbellLollipop:
+    def test_barbell(self):
+        g = families.barbell(4, 2)
+        assert g.n == 10 and g.is_connected()
+        # Two K4s plus a 3-edge bridge path.
+        assert g.num_edges == 6 + 6 + 3
+
+    def test_barbell_no_bridge(self):
+        g = families.barbell(3)
+        assert g.n == 6 and g.is_connected() and g.has_edge(2, 3)
+
+    def test_lollipop(self):
+        g = families.lollipop(4, 3)
+        assert g.n == 7 and g.is_connected()
+        assert g.degree(6) == 1  # tail end
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(10, 3), (16, 5), (32, 4), (64, 16), (12, 11)])
+    def test_regular_connected(self, n, d):
+        g = families.random_regular(n, d, seed=3)
+        assert g.n == n
+        assert set(g.degrees.tolist()) == {d}
+        assert g.is_connected()
+
+    def test_deterministic_in_seed(self):
+        assert families.random_regular(12, 3, seed=5) == families.random_regular(
+            12, 3, seed=5
+        )
+
+    def test_different_seeds_differ(self):
+        a = families.random_regular(20, 3, seed=1)
+        b = families.random_regular(20, 3, seed=2)
+        assert a != b
+
+    def test_parity_check(self):
+        with pytest.raises(ValueError):
+            families.random_regular(5, 3)
+
+    def test_degree_bound_check(self):
+        with pytest.raises(ValueError):
+            families.random_regular(4, 4)
+
+
+class TestRandomBipartiteRegular:
+    @pytest.mark.parametrize("m,d", [(8, 2), (16, 4), (64, 8), (4, 4)])
+    def test_structure(self, m, d):
+        g = families.random_bipartite_regular(m, d, seed=1)
+        assert g.n == 2 * m
+        assert set(g.degrees.tolist()) == {d}
+        assert g.is_connected()
+        # Bipartite: no edge inside either side.
+        for u in range(m):
+            assert (g.neighbors(u) >= m).all()
+
+    def test_has_perfect_matching(self):
+        from repro.analysis.matching import cut_matching_size
+
+        m, d = 12, 3
+        g = families.random_bipartite_regular(m, d, seed=2)
+        assert cut_matching_size(g, range(m)) == m
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            families.random_bipartite_regular(4, 5)
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self):
+        assert families.erdos_renyi(6, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_clique(self):
+        assert families.erdos_renyi(6, 1.0, seed=1) == families.clique(6)
+
+    def test_connected_variant(self):
+        g = families.connected_erdos_renyi(12, 0.3, seed=4)
+        assert g.is_connected()
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            families.erdos_renyi(5, 1.5)
+
+
+class TestRegistry:
+    def test_all_builders_registered(self):
+        assert "line_of_stars" in families.FAMILY_BUILDERS
+        assert families.FAMILY_BUILDERS["clique"] is families.clique
+        assert len(families.FAMILY_BUILDERS) >= 18
+
+
+class TestStaircaseBipartite:
+    def test_structure(self):
+        g = families.staircase_bipartite(4)
+        assert g.n == 8
+        # Left i adjacent to rights 4..4+i.
+        assert g.neighbors(0).tolist() == [4]
+        assert g.neighbors(3).tolist() == [4, 5, 6, 7]
+        assert g.is_connected()
+        assert g.max_degree == 4  # left m-1 and right 0 both have degree m
+
+    def test_has_perfect_matching(self):
+        from repro.analysis.matching import cut_matching_size
+
+        m = 8
+        g = families.staircase_bipartite(m)
+        assert cut_matching_size(g, range(m)) == m
+
+    def test_nested_neighborhoods(self):
+        m = 6
+        g = families.staircase_bipartite(m)
+        for i in range(1, m):
+            prev = set(g.neighbors(i - 1).tolist())
+            cur = set(g.neighbors(i).tolist())
+            assert prev <= cur
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            families.staircase_bipartite(0)

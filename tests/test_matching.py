@@ -1,0 +1,154 @@
+"""Tests for repro.analysis.matching: Hopcroft-Karp and Lemma V.1 quantities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.expansion import vertex_expansion_exact
+from repro.analysis.matching import (
+    cut_matching,
+    cut_matching_size,
+    gamma_exact,
+    hopcroft_karp,
+)
+from repro.graphs import families
+from repro.graphs.static import Graph
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        # Two disjoint edges: 0-0', 1-1'.
+        size, ml, mr = hopcroft_karp(2, 2, [[0], [1]])
+        assert size == 2
+        assert ml.tolist() == [0, 1] and mr.tolist() == [0, 1]
+
+    def test_star_contention(self):
+        # All left vertices want the single right vertex.
+        size, ml, _ = hopcroft_karp(3, 1, [[0], [0], [0]])
+        assert size == 1
+        assert sum(1 for x in ml if x >= 0) == 1
+
+    def test_augmenting_path_needed(self):
+        # Greedy left-to-right matching fails without augmentation:
+        # L0-{R0,R1}, L1-{R0}: L0 must take R1.
+        size, ml, _ = hopcroft_karp(2, 2, [[0, 1], [0]])
+        assert size == 2
+        assert ml[1] == 0 and ml[0] == 1
+
+    def test_empty_adjacency(self):
+        size, ml, mr = hopcroft_karp(3, 3, [[], [], []])
+        assert size == 0
+        assert (ml == -1).all() and (mr == -1).all()
+
+    def test_matching_is_consistent(self):
+        size, ml, mr = hopcroft_karp(4, 4, [[0, 1], [1, 2], [2, 3], [0, 3]])
+        assert size == 4
+        for u, v in enumerate(ml):
+            if v >= 0:
+                assert mr[v] == u
+
+    @st.composite
+    @staticmethod
+    def bipartite_adj(draw):
+        nl = draw(st.integers(1, 7))
+        nr = draw(st.integers(1, 7))
+        adj = [
+            sorted(
+                draw(
+                    st.lists(st.integers(0, nr - 1), unique=True, max_size=nr)
+                )
+            )
+            for _ in range(nl)
+        ]
+        return nl, nr, adj
+
+    @given(bipartite_adj())
+    @settings(max_examples=80)
+    def test_matches_networkx_size(self, case):
+        import networkx as nx
+
+        nl, nr, adj = case
+        g = nx.Graph()
+        g.add_nodes_from(range(nl), bipartite=0)
+        g.add_nodes_from(range(nl, nl + nr), bipartite=1)
+        for u, vs in enumerate(adj):
+            for v in vs:
+                g.add_edge(u, nl + v)
+        expected = len(nx.bipartite.maximum_matching(g, top_nodes=range(nl))) // 2
+        size, _, _ = hopcroft_karp(nl, nr, adj)
+        assert size == expected
+
+    @given(bipartite_adj())
+    @settings(max_examples=50)
+    def test_output_is_valid_matching(self, case):
+        nl, nr, adj = case
+        size, ml, mr = hopcroft_karp(nl, nr, adj)
+        used_r = set()
+        count = 0
+        for u, v in enumerate(ml):
+            if v >= 0:
+                assert v in adj[u]
+                assert v not in used_r
+                used_r.add(int(v))
+                count += 1
+        assert count == size
+
+
+class TestCutMatching:
+    def test_star_cut(self):
+        g = families.star(7)
+        # Leaves {1,2,3}: only the hub is on the other side of any edge.
+        assert cut_matching_size(g, [1, 2, 3]) == 1
+
+    def test_clique_cut(self):
+        g = families.clique(8)
+        assert cut_matching_size(g, range(4)) == 4
+
+    def test_pairs_are_edges_across_cut(self):
+        g = families.random_regular(12, 3, seed=0)
+        s = list(range(5))
+        pairs = cut_matching(g, s)
+        sset = set(s)
+        seen = set()
+        for u, v in pairs:
+            assert u in sset and v not in sset
+            assert g.has_edge(u, v)
+            assert u not in seen and v not in seen
+            seen.update((u, v))
+
+    def test_empty_s(self):
+        assert cut_matching(families.ring(5), []) == []
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            cut_matching(families.ring(5), [7])
+
+
+class TestGammaExact:
+    def test_lemma_v1_on_families(self, small_graphs):
+        for name, g in small_graphs:
+            if g.n > 14:
+                continue
+            alpha = vertex_expansion_exact(g)
+            gamma = gamma_exact(g)
+            assert gamma >= alpha / 4 - 1e-12, name
+            # gamma is also never larger than alpha (a matching endpoint
+            # outside S is a boundary vertex).
+            assert gamma <= alpha + 1e-12, name
+
+    def test_path_gamma(self):
+        # Prefix of size n//2 has one crossing edge.
+        g = families.path(8)
+        assert gamma_exact(g) == pytest.approx(1 / 4)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            gamma_exact(families.clique(20))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_lemma_v1_random_graphs(self, seed):
+        g = families.connected_erdos_renyi(9, 0.4, seed=seed)
+        assert gamma_exact(g) >= vertex_expansion_exact(g) / 4 - 1e-12

@@ -1,0 +1,75 @@
+"""Tests for repro.core.monitor predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.monitor import all_leaders_are, all_leaders_equal, rumor_complete
+from repro.core.payload import Message, UID
+from repro.core.protocol import LeaderElectionProtocol, RumorProtocol
+
+
+class FakeLeaderNode(LeaderElectionProtocol):
+    def __init__(self, uid):
+        super().__init__(0, uid)
+        self._leader = uid
+
+    @property
+    def leader(self):
+        return self._leader
+
+    def decide(self, view):
+        return None
+
+    def compose(self, peer):
+        return Message()
+
+    def deliver(self, peer, message):
+        pass
+
+
+class FakeRumorNode(RumorProtocol):
+    def __init__(self, informed):
+        super().__init__(0, UID(0))
+        self._informed = informed
+
+    @property
+    def informed(self):
+        return self._informed
+
+    def decide(self, view):
+        return None
+
+    def compose(self, peer):
+        return Message()
+
+    def deliver(self, peer, message):
+        pass
+
+
+class TestLeaderPredicates:
+    def test_all_leaders_are(self):
+        winner = UID(1)
+        pred = all_leaders_are(winner)
+        assert pred([FakeLeaderNode(UID(1)), FakeLeaderNode(UID(1))])
+        assert not pred([FakeLeaderNode(UID(1)), FakeLeaderNode(UID(2))])
+
+    def test_all_leaders_equal(self):
+        assert all_leaders_equal([FakeLeaderNode(UID(3)), FakeLeaderNode(UID(3))])
+        assert not all_leaders_equal([FakeLeaderNode(UID(3)), FakeLeaderNode(UID(4))])
+
+    def test_agreement_on_wrong_uid_not_stabilized(self):
+        # Transient agreement on a non-winner must not satisfy the
+        # absorbing predicate.
+        pred = all_leaders_are(UID(1))
+        nodes = [FakeLeaderNode(UID(2)), FakeLeaderNode(UID(2))]
+        assert all_leaders_equal(nodes)
+        assert not pred(nodes)
+
+
+class TestRumorPredicate:
+    def test_complete(self):
+        assert rumor_complete([FakeRumorNode(True), FakeRumorNode(True)])
+
+    def test_incomplete(self):
+        assert not rumor_complete([FakeRumorNode(True), FakeRumorNode(False)])

@@ -1,0 +1,99 @@
+"""Tests for the shared (tag, key) pair kernels (repro.algorithms._pairs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms._pairs import pair_less, pair_min_inplace, pairs_all_equal
+
+
+class TestPairLess:
+    def test_tag_dominates(self):
+        assert pair_less(
+            np.array([1]), np.array([99]), np.array([2]), np.array([0])
+        ).tolist() == [True]
+
+    def test_key_breaks_ties(self):
+        assert pair_less(
+            np.array([5]), np.array([1]), np.array([5]), np.array([2])
+        ).tolist() == [True]
+        assert pair_less(
+            np.array([5]), np.array([2]), np.array([5]), np.array([1])
+        ).tolist() == [False]
+
+    def test_equal_is_not_less(self):
+        assert pair_less(
+            np.array([5]), np.array([1]), np.array([5]), np.array([1])
+        ).tolist() == [False]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 7), st.integers(0, 7),
+                st.integers(0, 7), st.integers(0, 7),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_matches_tuple_comparison(self, quads):
+        ta = np.array([q[0] for q in quads])
+        ka = np.array([q[1] for q in quads])
+        tb = np.array([q[2] for q in quads])
+        kb = np.array([q[3] for q in quads])
+        got = pair_less(ta, ka, tb, kb)
+        expected = [(q[0], q[1]) < (q[2], q[3]) for q in quads]
+        assert got.tolist() == expected
+
+
+class TestPairMinInplace:
+    def test_only_better_pairs_written(self):
+        dst_tag = np.array([5, 5, 5])
+        dst_key = np.array([5, 5, 5])
+        idx = np.array([0, 1, 2])
+        src_tag = np.array([4, 5, 6])
+        src_key = np.array([9, 4, 0])
+        pair_min_inplace(dst_tag, dst_key, idx, src_tag, src_key)
+        # idx0: (4,9) < (5,5) -> written; idx1: (5,4) < (5,5) -> written;
+        # idx2: (6,0) > (5,5) -> untouched.
+        assert dst_tag.tolist() == [4, 5, 5]
+        assert dst_key.tolist() == [9, 4, 5]
+
+    def test_partial_index(self):
+        dst_tag = np.array([9, 9, 9, 9])
+        dst_key = np.array([9, 9, 9, 9])
+        pair_min_inplace(
+            dst_tag, dst_key, np.array([2]), np.array([1]), np.array([1])
+        )
+        assert dst_tag.tolist() == [9, 9, 1, 9]
+
+    @given(
+        st.lists(st.integers(0, 7), min_size=2, max_size=10),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50)
+    def test_result_is_pointwise_min(self, tags, seed):
+        n = len(tags)
+        rng = np.random.default_rng(seed)
+        dst_tag = np.array(tags)
+        dst_key = rng.integers(0, 8, n)
+        src_tag = rng.integers(0, 8, n)
+        src_key = rng.integers(0, 8, n)
+        before = list(zip(dst_tag.tolist(), dst_key.tolist()))
+        src = list(zip(src_tag.tolist(), src_key.tolist()))
+        pair_min_inplace(dst_tag, dst_key, np.arange(n), src_tag, src_key)
+        after = list(zip(dst_tag.tolist(), dst_key.tolist()))
+        assert after == [min(b, s) for b, s in zip(before, src)]
+
+
+class TestPairsAllEqual:
+    def test_true_case(self):
+        assert pairs_all_equal(np.array([3, 3]), np.array([7, 7]), 3, 7)
+
+    def test_false_on_key_mismatch(self):
+        assert not pairs_all_equal(np.array([3, 3]), np.array([7, 8]), 3, 7)
+
+    def test_false_on_tag_mismatch(self):
+        assert not pairs_all_equal(np.array([3, 4]), np.array([7, 7]), 3, 7)

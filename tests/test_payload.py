@@ -1,0 +1,120 @@
+"""Tests for repro.core.payload: UIDs, ID pairs, budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.payload import (
+    BudgetExceeded,
+    IDPair,
+    Message,
+    PayloadBudget,
+    UID,
+    UIDSpace,
+)
+
+
+class TestUID:
+    def test_total_order(self):
+        a, b = UID(3), UID(7)
+        assert a < b and b > a and a != b
+        assert a <= b and not b <= a
+
+    def test_equality_and_hash(self):
+        assert UID(5) == UID(5)
+        assert hash(UID(5)) == hash(UID(5))
+        assert UID(5) != UID(6)
+
+    def test_not_comparable_to_int(self):
+        assert UID(5) != 5
+        with pytest.raises(TypeError):
+            _ = UID(5) < 5
+
+    @given(st.lists(st.integers(0, 1000), unique=True, min_size=2, max_size=20))
+    def test_sorting_matches_keys(self, keys):
+        uids = [UID(k) for k in keys]
+        assert [u._key for u in sorted(uids)] == sorted(keys)
+
+
+class TestUIDSpace:
+    def test_unique_uids(self):
+        space = UIDSpace(50, seed=1)
+        uids = space.all_uids()
+        assert len(set(uids)) == 50
+
+    def test_winner_holds_minimum(self):
+        space = UIDSpace(20, seed=2)
+        w = space.winner_vertex()
+        mn = space.min_uid()
+        assert space.uid_of(w) == mn
+        assert all(mn <= space.uid_of(v) for v in range(20))
+
+    def test_deterministic(self):
+        a, b = UIDSpace(10, seed=3), UIDSpace(10, seed=3)
+        assert a.all_uids() == b.all_uids()
+
+    def test_winner_not_always_vertex_zero(self):
+        # Layout independence: across seeds the winner vertex varies.
+        winners = {UIDSpace(10, seed=s).winner_vertex() for s in range(20)}
+        assert len(winners) > 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UIDSpace(0)
+
+
+class TestIDPair:
+    def test_orders_by_tag_first(self):
+        assert IDPair(UID(9), 1) < IDPair(UID(1), 2)
+
+    def test_ties_broken_by_uid(self):
+        assert IDPair(UID(1), 5) < IDPair(UID(2), 5)
+
+    def test_equality(self):
+        assert IDPair(UID(1), 5) == IDPair(UID(1), 5)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            unique=True,
+            min_size=2,
+            max_size=15,
+        )
+    )
+    def test_sort_matches_tuple_sort(self, items):
+        pairs = [IDPair(UID(k), t) for (k, t) in items]
+        expected = sorted(items, key=lambda kt: (kt[1], kt[0]))
+        assert [(p.uid._key, p.tag) for p in sorted(pairs)] == [
+            (k, t) for (k, t) in expected
+        ]
+
+
+class TestPayloadBudget:
+    def test_uid_budget_enforced(self):
+        budget = PayloadBudget(n_upper=64, max_uids=2)
+        budget.validate(Message(uids=(UID(1), UID(2))))
+        with pytest.raises(BudgetExceeded):
+            budget.validate(Message(uids=(UID(1), UID(2), UID(3))))
+
+    def test_extra_bits_budget(self):
+        budget = PayloadBudget(n_upper=64, polylog_power=1, polylog_constant=1.0)
+        assert budget.max_extra_bits == 6  # log2(64)
+        budget.validate(Message(extra_bits=6))
+        with pytest.raises(BudgetExceeded):
+            budget.validate(Message(extra_bits=7))
+
+    def test_polylog_scaling(self):
+        b1 = PayloadBudget(n_upper=256, polylog_power=2, polylog_constant=1.0)
+        assert b1.max_extra_bits == 64  # log2(256)^2
+
+    def test_empty_message_always_ok(self):
+        PayloadBudget(n_upper=2).validate(Message())
+
+    def test_default_budget_fits_bit_convergence(self):
+        # A bit convergence pair (1 UID + k = 2 log n tag bits) must fit
+        # the default Section IV budget.
+        n = 1024
+        budget = PayloadBudget(n_upper=n)
+        budget.validate(Message(uids=(UID(0),), extra_bits=20))

@@ -1,0 +1,68 @@
+"""Tests for result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.persistence import load_document, load_table, save_table
+from repro.harness.tables import Table
+
+
+def sample_table() -> Table:
+    t = Table(title="T", columns=["x", "rounds", "ok"], notes=["a note"])
+    t.add_row(1, 12.5, True)
+    t.add_row(2, 50.0, False)
+    return t
+
+
+class TestRoundTrip:
+    def test_table_roundtrip(self, tmp_path):
+        path = tmp_path / "res.json"
+        save_table(sample_table(), path, exp_id="E3", profile="quick")
+        loaded = load_table(path)
+        original = sample_table()
+        assert loaded.title == original.title
+        assert list(loaded.columns) == list(original.columns)
+        assert [list(r) for r in loaded.rows] == [list(r) for r in original.rows]
+        assert loaded.notes == original.notes
+        assert loaded.render() == original.render()
+
+    def test_metadata(self, tmp_path):
+        import repro
+
+        path = tmp_path / "res.json"
+        save_table(
+            sample_table(), path, exp_id="E7", profile="standard",
+            extra={"seed": 42},
+        )
+        doc = load_document(path)
+        assert doc.exp_id == "E7"
+        assert doc.profile == "standard"
+        assert doc.package_version == repro.__version__
+        assert doc.extra == {"seed": 42}
+        assert doc.created_at > 0
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "res.json"
+        save_table(sample_table(), path, exp_id="E1", profile="quick")
+        assert path.exists()
+
+    def test_format_version_checked(self, tmp_path):
+        path = tmp_path / "res.json"
+        save_table(sample_table(), path, exp_id="E1", profile="quick")
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_document(path)
+
+    def test_registry_output_is_serializable(self, tmp_path):
+        """Every cell type the registry produces survives the round trip."""
+        from repro.harness.experiments import run_experiment
+
+        table = run_experiment("E1", "quick", n_small=6, random_graphs=1)
+        path = tmp_path / "e1.json"
+        save_table(table, path, exp_id="E1", profile="quick")
+        assert load_table(path).render() == table.render()

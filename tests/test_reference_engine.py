@@ -1,0 +1,265 @@
+"""Tests for the reference engine: literal model semantics of Section III."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ModelViolation, ReferenceEngine
+from repro.core.payload import Message, UID, UIDSpace
+from repro.core.protocol import NodeProtocol, RoundView
+from repro.graphs import families
+from repro.graphs.dynamic import StaticDynamicGraph
+
+
+class AlwaysSend(NodeProtocol):
+    """Proposes to a uniformly random neighbor every round."""
+
+    tag_length = 0
+
+    def __init__(self, node_id, uid):
+        super().__init__(node_id, uid)
+        self.received_from: list[int] = []
+        self.rounds_seen = 0
+
+    def decide(self, view: RoundView):
+        self.rounds_seen += 1
+        if view.neighbors.size == 0:
+            return None
+        return int(view.neighbors[view.rng.integers(0, view.neighbors.size)])
+
+    def compose(self, peer):
+        return Message(data=("hello", self.node_id))
+
+    def deliver(self, peer, message):
+        self.received_from.append(peer)
+
+
+class AlwaysListen(AlwaysSend):
+    """Only receives."""
+
+    def decide(self, view):
+        self.rounds_seen += 1
+        return None
+
+
+class BadTag(AlwaysListen):
+    tag_length = 1
+
+    def choose_tag(self, local_round, rng):
+        return 2  # outside 1 bit
+
+
+class BadTarget(AlwaysSend):
+    def decide(self, view):
+        return 10**6  # not a neighbor
+
+
+class FatMessage(AlwaysSend):
+    def compose(self, peer):
+        return Message(uids=tuple(UID(i) for i in range(100)))
+
+
+def make_engine(proto_cls, graph, seed=0, **kw):
+    us = UIDSpace(graph.n, seed=seed)
+    protos = [proto_cls(v, us.uid_of(v)) for v in range(graph.n)]
+    return (
+        ReferenceEngine(StaticDynamicGraph(graph), protos, seed=seed, **kw),
+        protos,
+        us,
+    )
+
+
+class TestRoundMechanics:
+    def test_one_connection_per_node_per_round(self):
+        eng, _, _ = make_engine(AlwaysSend, families.clique(8), collect_trace=True)
+        eng.run(30, lambda ps: False)
+        assert eng.trace.connection_participants_ok()
+
+    def test_connections_follow_edges(self):
+        g = families.ring(8)
+        eng, _, _ = make_engine(AlwaysSend, g, collect_trace=True)
+        eng.run(20, lambda ps: False)
+        for rec in eng.trace.rounds:
+            for s, t in rec.connections:
+                assert g.has_edge(int(s), int(t))
+
+    def test_proposer_cannot_receive(self):
+        # All nodes send every round => nobody listens => no connections.
+        eng, _, _ = make_engine(AlwaysSend, families.clique(6), collect_trace=True)
+        eng.run(10, lambda ps: False)
+        # On a clique with everyone proposing, every proposal targets a
+        # proposer, so no connection can form.
+        assert eng.trace.total_connections() == 0
+
+    def test_listener_accepts_exactly_one(self):
+        # Star: leaves always send (their only neighbor is the hub); hub
+        # always listens. Each round: exactly one connection.
+        g = families.star(6)
+
+        class LeafSendsHubListens(AlwaysSend):
+            def decide(self, view):
+                if self.node_id == 0:
+                    return None
+                return 0
+
+        eng, protos, _ = make_engine(LeafSendsHubListens, g, collect_trace=True)
+        eng.run(15, lambda ps: False)
+        for rec in eng.trace.rounds:
+            assert rec.connections.shape[0] == 1
+            assert rec.connections[0, 1] == 0  # hub is the acceptor
+
+    def test_messages_delivered_both_ways(self):
+        g = families.path(2)
+
+        class ZeroSendsOneListens(AlwaysSend):
+            def decide(self, view):
+                return 1 if self.node_id == 0 else None
+
+        eng, protos, _ = make_engine(ZeroSendsOneListens, g)
+        eng.run(3, lambda ps: False)
+        assert protos[0].received_from and set(protos[0].received_from) == {1}
+        assert protos[1].received_from and set(protos[1].received_from) == {0}
+
+
+class TestModelEnforcement:
+    def test_tag_width_enforced(self):
+        eng, _, _ = make_engine(BadTag, families.ring(4))
+        with pytest.raises(ModelViolation):
+            eng.run(2, lambda ps: False)
+
+    def test_nonzero_tag_at_b0_enforced(self):
+        class SneakyTag(AlwaysListen):
+            tag_length = 0
+
+            def choose_tag(self, local_round, rng):
+                return 1
+
+        eng, _, _ = make_engine(SneakyTag, families.ring(4))
+        with pytest.raises(ModelViolation):
+            eng.run(2, lambda ps: False)
+
+    def test_propose_to_non_neighbor_enforced(self):
+        eng, _, _ = make_engine(BadTarget, families.ring(4))
+        with pytest.raises(ModelViolation):
+            eng.run(2, lambda ps: False)
+
+    def test_payload_budget_enforced(self):
+        class HalfListen(FatMessage):
+            def decide(self, view):
+                # Even ids send, odd ids listen, so connections happen.
+                if self.node_id % 2 == 1:
+                    return None
+                return super().decide(view)
+
+        eng, _, _ = make_engine(HalfListen, families.clique(6))
+        from repro.core.payload import BudgetExceeded
+
+        with pytest.raises(BudgetExceeded):
+            eng.run(10, lambda ps: False)
+
+    def test_protocol_count_checked(self):
+        g = families.ring(5)
+        us = UIDSpace(4, seed=0)
+        protos = [AlwaysListen(v, us.uid_of(v)) for v in range(4)]
+        with pytest.raises(ValueError):
+            ReferenceEngine(StaticDynamicGraph(g), protos)
+
+
+class TestActivation:
+    def test_inactive_nodes_invisible(self):
+        g = families.path(3)
+
+        class Recorder(AlwaysListen):
+            def __init__(self, node_id, uid):
+                super().__init__(node_id, uid)
+                self.seen_neighbors: list[list[int]] = []
+
+            def decide(self, view):
+                self.seen_neighbors.append([int(x) for x in view.neighbors])
+                return None
+
+        us = UIDSpace(3, seed=0)
+        protos = [Recorder(v, us.uid_of(v)) for v in range(3)]
+        eng = ReferenceEngine(
+            StaticDynamicGraph(g), protos, seed=0, activation_rounds=[1, 3, 1]
+        )
+        eng.run(4, lambda ps: False)
+        # Round 1-2: node 1 inactive, so node 0 and 2 see nobody.
+        assert protos[0].seen_neighbors[0] == []
+        assert protos[0].seen_neighbors[1] == []
+        # Round 3 on: node 1 active and visible.
+        assert protos[0].seen_neighbors[2] == [1]
+        # Node 1 was never called before its activation round.
+        assert len(protos[1].seen_neighbors) == 2
+
+    def test_local_round_counters(self):
+        g = families.path(2)
+
+        class LocalRoundRecorder(AlwaysListen):
+            def __init__(self, node_id, uid):
+                super().__init__(node_id, uid)
+                self.local_rounds: list[int] = []
+
+            def decide(self, view):
+                self.local_rounds.append(view.local_round)
+                return None
+
+        us = UIDSpace(2, seed=0)
+        protos = [LocalRoundRecorder(v, us.uid_of(v)) for v in range(2)]
+        eng = ReferenceEngine(
+            StaticDynamicGraph(g), protos, seed=0, activation_rounds=[1, 3]
+        )
+        eng.run(5, lambda ps: False)
+        assert protos[0].local_rounds == [1, 2, 3, 4, 5]
+        assert protos[1].local_rounds == [1, 2, 3]
+
+    def test_rounds_after_last_activation(self):
+        g = families.path(2)
+        us = UIDSpace(2, seed=0)
+        protos = [AlwaysListen(v, us.uid_of(v)) for v in range(2)]
+        eng = ReferenceEngine(
+            StaticDynamicGraph(g), protos, seed=0, activation_rounds=[1, 4]
+        )
+        res = eng.run(10, lambda ps: False)
+        assert res.rounds == 10
+        assert res.rounds_after_last_activation == 7
+
+    def test_activation_validation(self):
+        g = families.path(2)
+        us = UIDSpace(2, seed=0)
+        protos = [AlwaysListen(v, us.uid_of(v)) for v in range(2)]
+        with pytest.raises(ValueError):
+            ReferenceEngine(
+                StaticDynamicGraph(g), protos, activation_rounds=[0, 1]
+            )
+
+
+class TestRunLoop:
+    def test_stop_predicate_halts(self):
+        eng, protos, _ = make_engine(AlwaysListen, families.ring(4))
+        res = eng.run(100, lambda ps: ps[0].rounds_seen >= 5)
+        assert res.stabilized and res.rounds == 5
+
+    def test_check_every_quantizes(self):
+        eng, protos, _ = make_engine(AlwaysListen, families.ring(4))
+        res = eng.run(100, lambda ps: ps[0].rounds_seen >= 5, check_every=4)
+        assert res.stabilized and res.rounds == 8
+
+    def test_horizon_reached(self):
+        eng, _, _ = make_engine(AlwaysListen, families.ring(4))
+        res = eng.run(7, lambda ps: False)
+        assert not res.stabilized and res.rounds == 7
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            eng, protos, _ = make_engine(AlwaysSend, families.clique(6), seed=9)
+            eng.run(10, lambda ps: False)
+            return [tuple(p.received_from) for p in protos]
+
+        assert run_once() == run_once()
+
+    def test_max_rounds_validation(self):
+        eng, _, _ = make_engine(AlwaysListen, families.ring(4))
+        with pytest.raises(ValueError):
+            eng.run(0, lambda ps: False)

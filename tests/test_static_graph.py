@@ -1,0 +1,154 @@
+"""Tests for repro.graphs.static.Graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.static import Graph
+
+
+@st.composite
+def random_graphs(draw, max_n=10):
+    n = draw(st.integers(2, max_n))
+    pool = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pool), unique=True, max_size=len(pool)))
+    return Graph(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.num_edges == 3
+        assert g.max_degree == 2
+        assert g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_edge_orientation_canonical(self):
+        assert Graph(3, [(1, 0)]) == Graph(3, [(0, 1)])
+
+    def test_rejects_empty_vertex_set(self):
+        with pytest.raises(ValueError):
+            Graph(0, [])
+
+    def test_single_vertex(self):
+        g = Graph(1, [])
+        assert g.n == 1 and g.is_connected()
+
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_has_edge(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_arrays_read_only(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.indices[0] = 2
+        with pytest.raises(ValueError):
+            g.edges[0, 0] = 2
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        assert Graph(4, [(0, 1), (1, 2), (2, 3)]).is_connected()
+
+    def test_disconnected(self):
+        assert not Graph(4, [(0, 1), (2, 3)]).is_connected()
+
+    def test_isolated_vertex(self):
+        assert not Graph(3, [(0, 1)]).is_connected()
+
+    def test_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = sorted(g.connected_components(), key=lambda c: c[0])
+        assert [c.tolist() for c in comps] == [[0, 1], [2, 3], [4]]
+
+    @given(random_graphs())
+    @settings(max_examples=50)
+    def test_connectivity_matches_networkx(self, g):
+        import networkx as nx
+
+        assert g.is_connected() == nx.is_connected(g.to_networkx())
+
+    @given(random_graphs())
+    @settings(max_examples=50)
+    def test_component_count_matches_networkx(self, g):
+        import networkx as nx
+
+        assert len(g.connected_components()) == nx.number_connected_components(
+            g.to_networkx()
+        )
+
+
+class TestRelabel:
+    def test_identity(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.relabel(np.arange(4)) == g
+
+    def test_swap(self):
+        g = Graph(3, [(0, 1)])
+        h = g.relabel(np.array([2, 1, 0]))
+        assert h.has_edge(2, 1)
+        assert not h.has_edge(0, 1)
+
+    def test_rejects_non_permutation(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.relabel(np.array([0, 0, 1]))
+
+    @given(random_graphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_preserves_degree_multiset(self, g, seed):
+        perm = np.random.default_rng(seed).permutation(g.n)
+        h = g.relabel(perm)
+        assert sorted(h.degrees.tolist()) == sorted(g.degrees.tolist())
+        assert h.num_edges == g.num_edges
+
+
+class TestUnion:
+    def test_disjoint_plus_bridge(self):
+        a = Graph(2, [(0, 1)])
+        b = Graph(2, [(0, 1)])
+        u = a.union(b, [(1, 0)])
+        assert u.n == 4
+        assert u.has_edge(0, 1) and u.has_edge(2, 3) and u.has_edge(1, 2)
+        assert u.is_connected()
+
+    def test_no_bridges_keeps_components(self):
+        a = Graph(2, [(0, 1)])
+        b = Graph(2, [(0, 1)])
+        u = a.union(b, [])
+        assert not u.is_connected()
+        assert len(u.connected_components()) == 2
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert Graph.from_networkx(g.to_networkx()) == g
+
+    def test_from_networkx_requires_contiguous_labels(self):
+        import networkx as nx
+
+        h = nx.Graph()
+        h.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            Graph.from_networkx(h)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_neq_different_edges(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+
+    def test_neq_different_n(self):
+        assert Graph(3, [(0, 1)]) != Graph(4, [(0, 1)])

@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.statistics import (
+    geometric_mean,
+    loglog_slope,
+    ratio_fit,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.median == pytest.approx(3.0)
+        assert s.max == 5.0
+
+    def test_single_sample(self):
+        s = summarize([7.0])
+        assert s.mean == 7.0 and s.std == 0.0
+        assert s.ci_low == 7.0 and s.ci_high == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        s = summarize(rng.normal(10, 2, size=50).tolist())
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_ci_deterministic(self):
+        data = [1.0, 5.0, 2.0, 8.0, 3.0]
+        assert summarize(data) == summarize(data)
+
+    @given(st.lists(st.floats(1, 1e6), min_size=2, max_size=30))
+    def test_quantile_ordering(self, data):
+        s = summarize(data)
+        assert s.q10 <= s.median <= s.q90 <= s.max
+
+
+class TestLogLogSlope:
+    def test_quadratic(self):
+        xs = [2, 4, 8, 16]
+        ys = [x**2 for x in xs]
+        slope, r2 = loglog_slope(xs, ys)
+        assert slope == pytest.approx(2.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_constant(self):
+        slope, _ = loglog_slope([1, 2, 4], [5, 5, 5])
+        assert slope == pytest.approx(0.0)
+
+    def test_noise_reduces_r2(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [4.0, 17.0, 60.0, 270.0, 1010.0]  # roughly quadratic
+        slope, r2 = loglog_slope(xs, ys)
+        assert 1.7 < slope < 2.3
+        assert 0.9 < r2 <= 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2], [0, 1])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+
+class TestRatioFit:
+    def test_matching_shape_gives_ones(self):
+        bound = [10.0, 40.0, 90.0]
+        measured = [x * 3.7 for x in bound]  # constant factor off
+        r = ratio_fit(measured, bound)
+        assert np.allclose(r, 1.0)
+
+    def test_shape_mismatch_shows_drift(self):
+        bound = [10.0, 100.0, 1000.0]
+        measured = [10.0, 10.0, 10.0]
+        r = ratio_fit(measured, bound)
+        assert r[0] > 1.0 > r[-1]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ratio_fit([1.0], [1.0, 2.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ratio_fit([0.0], [1.0])
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_invariance(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])

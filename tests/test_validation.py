@@ -1,0 +1,75 @@
+"""Tests for repro.graphs.validation: contract checkers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import families
+from repro.graphs.dynamic import (
+    DynamicGraph,
+    ScheduleDynamicGraph,
+    StaticDynamicGraph,
+)
+from repro.graphs.static import Graph
+from repro.graphs.validation import (
+    StabilityViolation,
+    check_connected,
+    check_stability_contract,
+    observed_change_rounds,
+)
+
+
+class _LyingDynamicGraph(DynamicGraph):
+    """Claims tau but changes faster — used to exercise the validators."""
+
+    def __init__(self, graphs, claimed_tau):
+        self._graphs = graphs
+        self.n = graphs[0].n
+        self.tau = claimed_tau
+
+    def graph_at(self, r: int) -> Graph:
+        return self._graphs[(r - 1) % len(self._graphs)]
+
+
+class TestObservedChangeRounds:
+    def test_static_no_changes(self):
+        dg = StaticDynamicGraph(families.ring(5))
+        assert observed_change_rounds(dg, 10) == []
+
+    def test_schedule_changes_at_epoch_boundaries(self):
+        dg = ScheduleDynamicGraph(
+            [families.ring(6), families.path(6), families.star(6)], tau=3
+        )
+        assert observed_change_rounds(dg, 9) == [4, 7]
+
+
+class TestStabilityContract:
+    def test_static_ok(self):
+        check_stability_contract(StaticDynamicGraph(families.ring(5)), 20)
+
+    def test_schedule_ok(self):
+        dg = ScheduleDynamicGraph([families.ring(6), families.path(6)], tau=5)
+        check_stability_contract(dg, 20)
+
+    def test_violation_detected(self):
+        liar = _LyingDynamicGraph([families.ring(6), families.path(6)], claimed_tau=5)
+        with pytest.raises(StabilityViolation):
+            check_stability_contract(liar, 10)
+
+    def test_static_liar_detected(self):
+        liar = _LyingDynamicGraph([families.ring(6), families.path(6)], math.inf)
+        with pytest.raises(StabilityViolation):
+            check_stability_contract(liar, 10)
+
+
+class TestCheckConnected:
+    def test_connected_ok(self):
+        check_connected(StaticDynamicGraph(families.ring(5)), 10)
+
+    def test_disconnected_detected(self):
+        bad = Graph(4, [(0, 1), (2, 3)])
+        liar = _LyingDynamicGraph([bad], claimed_tau=1)
+        with pytest.raises(ValueError):
+            check_connected(liar, 5)
