@@ -2,23 +2,35 @@
 
 These are conventional pytest-benchmark measurements (many iterations)
 quantifying the simulator itself — the substrate every experiment rides
-on — and documenting the reference-vs-vectorized speed gap.
+on — and documenting the reference-vs-vectorized speed gap plus the
+batched-vs-per-trial trial-throughput gap.
 """
 
 import numpy as np
 
 from repro.algorithms.bit_convergence import BitConvergenceConfig, BitConvergenceVectorized
-from repro.algorithms.blind_gossip import BlindGossipVectorized, make_blind_gossip_nodes
+from repro.algorithms.blind_gossip import (
+    BlindGossipBatched,
+    BlindGossipVectorized,
+    make_blind_gossip_nodes,
+)
+from repro.core.batched import BatchedVectorizedEngine
 from repro.core.engine import ReferenceEngine
 from repro.core.payload import UIDSpace
 from repro.core.vectorized import VectorizedEngine
 from repro.graphs import families
 from repro.graphs.dynamic import StaticDynamicGraph
 from repro.harness.experiments import uid_keys_random
-from repro.util.csrops import segmented_random_pick, segmented_uniform_accept
+from repro.harness.runner import run_trials, run_trials_batched, trial_seeds_for
+from repro.util.csrops import (
+    batched_random_pick,
+    segmented_random_pick,
+    segmented_uniform_accept,
+)
 
 N = 256
 DEGREE = 8
+REPLICAS = 32
 
 
 def test_vectorized_engine_round(benchmark):
@@ -63,6 +75,76 @@ def test_vectorized_engine_round_large(benchmark):
     benchmark(lambda: eng.step(next(counter)))
 
 
+def test_batched_engine_round(benchmark):
+    """One batched round advances all 32 replicas at once."""
+    g = families.random_regular(N, DEGREE, seed=0)
+    keys = uid_keys_random(N, 0)
+    eng = BatchedVectorizedEngine(
+        StaticDynamicGraph(g),
+        BlindGossipBatched(keys),
+        seeds=trial_seeds_for(0, REPLICAS),
+    )
+    counter = iter(range(1, 10_000_000))
+
+    benchmark(lambda: eng.step(next(counter)))
+
+
+def _trial_throughput_setup(n: int):
+    g = families.random_regular(n, DEGREE, seed=0)
+    dg = StaticDynamicGraph(g)
+    keys = uid_keys_random(n, 0)
+    return dg, keys
+
+
+def _bench_trials_single(dg, keys):
+    return run_trials(
+        lambda ts: VectorizedEngine(dg, BlindGossipVectorized(keys), seed=ts),
+        trials=REPLICAS,
+        max_rounds=100_000,
+        seed=0,
+    )
+
+
+def _bench_trials_batched(dg, keys):
+    return run_trials_batched(
+        lambda seeds: (dg, BlindGossipBatched(keys)),
+        trials=REPLICAS,
+        max_rounds=100_000,
+        seed=0,
+    )
+
+
+def test_trial_throughput_single_n256(benchmark):
+    """Baseline: 32 blind-gossip trials as 32 separate engine loops."""
+    dg, keys = _trial_throughput_setup(N)
+    out = benchmark(_bench_trials_single, dg, keys)
+    assert all(o.stabilized for o in out)
+
+
+def test_trial_throughput_batched_n256(benchmark):
+    """Fast path: the same 32 trials as one batched (T, n) computation.
+
+    The acceptance target for the batched engine is ≥5× the
+    single-engine loop above (compare the two means in the saved
+    benchmark JSON).
+    """
+    dg, keys = _trial_throughput_setup(N)
+    out = benchmark(_bench_trials_batched, dg, keys)
+    assert all(o.stabilized for o in out)
+
+
+def test_trial_throughput_single_n1024(benchmark):
+    dg, keys = _trial_throughput_setup(1024)
+    out = benchmark(_bench_trials_single, dg, keys)
+    assert all(o.stabilized for o in out)
+
+
+def test_trial_throughput_batched_n1024(benchmark):
+    dg, keys = _trial_throughput_setup(1024)
+    out = benchmark(_bench_trials_batched, dg, keys)
+    assert all(o.stabilized for o in out)
+
+
 def test_segmented_random_pick(benchmark):
     g = families.random_regular(1024, 16, seed=0)
     rng = np.random.default_rng(0)
@@ -79,3 +161,12 @@ def test_segmented_uniform_accept(benchmark):
     targets = rng.integers(0, 512, size=4096)
 
     benchmark(lambda: segmented_uniform_accept(senders, targets, 4096, rng))
+
+
+def test_batched_random_pick(benchmark):
+    """32 replicas' picks over one shared CSR in a single kernel call."""
+    g = families.random_regular(1024, 16, seed=0)
+    rng = np.random.default_rng(0)
+    active = rng.random((REPLICAS, 1024)) < 0.5
+
+    benchmark(lambda: batched_random_pick(g.indptr, g.indices, rng, active))

@@ -19,18 +19,26 @@ Consensus (extension)        log log n    single-value consensus conclusion
 from repro.algorithms.blind_gossip import (
     BlindGossipNode,
     BlindGossipVectorized,
+    BlindGossipBatched,
     make_blind_gossip_nodes,
 )
 from repro.algorithms.push_pull import (
     PushPullNode,
     PushPullVectorized,
+    PushPullBatched,
     make_push_pull_nodes,
 )
-from repro.algorithms.ppush import PPushNode, PPushVectorized, make_ppush_nodes
+from repro.algorithms.ppush import (
+    PPushNode,
+    PPushVectorized,
+    PPushBatched,
+    make_ppush_nodes,
+)
 from repro.algorithms.bit_convergence import (
     BitConvergenceConfig,
     BitConvergenceNode,
     BitConvergenceVectorized,
+    BitConvergenceBatched,
     make_bit_convergence_nodes,
     draw_id_tags,
 )
@@ -55,16 +63,20 @@ from repro.algorithms.consensus import ConsensusVectorized
 __all__ = [
     "BlindGossipNode",
     "BlindGossipVectorized",
+    "BlindGossipBatched",
     "make_blind_gossip_nodes",
     "PushPullNode",
     "PushPullVectorized",
+    "PushPullBatched",
     "make_push_pull_nodes",
     "PPushNode",
     "PPushVectorized",
+    "PPushBatched",
     "make_ppush_nodes",
     "BitConvergenceConfig",
     "BitConvergenceNode",
     "BitConvergenceVectorized",
+    "BitConvergenceBatched",
     "make_bit_convergence_nodes",
     "draw_id_tags",
     "AsyncBitConvergenceNode",

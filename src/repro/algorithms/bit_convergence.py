@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.algorithms._pairs import pair_less, pair_min_inplace
 from repro.analysis.bounds import group_length, tag_bits
+from repro.core.batched import BatchedAlgorithm
 from repro.core.payload import IDPair, Message, UID, UIDSpace
 from repro.core.protocol import LeaderElectionProtocol, RoundView
 from repro.core.vectorized import VectorizedAlgorithm
@@ -42,6 +43,7 @@ __all__ = [
     "BitConvergenceConfig",
     "BitConvergenceNode",
     "BitConvergenceVectorized",
+    "BitConvergenceBatched",
     "make_bit_convergence_nodes",
     "draw_id_tags",
 ]
@@ -347,3 +349,112 @@ class BitConvergenceVectorized(VectorizedAlgorithm):
             return None
         bits = (state.ctag >> (self.config.k - bi)) & 1
         return int((bits == 0).sum())
+
+
+class BitConvergenceBatched(BatchedAlgorithm):
+    """Replica-batched bit convergence for the batched engine.
+
+    Replica ``t`` draws its ID tags from trial seed ``seeds[t]`` exactly
+    as a single :class:`BitConvergenceVectorized` built with
+    ``tag_seed=seeds[t]`` would, so initial states match the per-trial
+    engines bit for bit.  Because tags differ per replica, the eventual
+    winner (and hence the convergence target) is per-replica state.
+    """
+
+    tag_length = 1
+
+    def __init__(
+        self,
+        uid_keys: np.ndarray,
+        config: BitConvergenceConfig,
+        *,
+        unique_tags: bool = False,
+    ):
+        self._keys = np.asarray(uid_keys, dtype=np.int64)
+        if np.unique(self._keys).size != self._keys.size:
+            raise ValueError("UID keys must be unique")
+        self.config = config
+        self._unique_tags = unique_tags
+
+    class State:
+        __slots__ = ("ctag", "ckey", "ptag", "pkey", "target_tag", "target_key")
+
+        def __init__(self, ctag, ckey, target_tag, target_key):
+            self.ctag = ctag
+            self.ckey = ckey
+            self.ptag = ctag.copy()
+            self.pkey = ckey.copy()
+            self.target_tag = target_tag
+            self.target_key = target_key
+
+    def init_state(self, n: int, seeds: np.ndarray) -> "BitConvergenceBatched.State":
+        if self._keys.shape != (n,):
+            raise ValueError("uid_keys must have one key per vertex")
+        T = len(seeds)
+        ctag = np.empty((T, n), dtype=np.int64)
+        for t in range(T):
+            ctag[t] = draw_id_tags(
+                n, self.config, int(seeds[t]), unique=self._unique_tags
+            )
+        ckey = np.tile(self._keys, (T, 1))
+        # Per replica, the eventual winner is the lexicographically
+        # smallest (tag, key): minimum tag, then minimum key among ties.
+        target_tag = ctag.min(axis=1)
+        key_of_min = np.where(
+            ctag == target_tag[:, None], ckey, np.iinfo(np.int64).max
+        )
+        target_key = key_of_min.min(axis=1)
+        return self.State(ctag, ckey, target_tag, target_key)
+
+    def _positions(self, local_rounds: np.ndarray) -> np.ndarray:
+        gl, k = self.config.group_len, self.config.k
+        group_index = (np.maximum(local_rounds, 1) - 1) // gl
+        return (group_index % k) + 1
+
+    def tags(self, state, local_rounds, active, rng) -> np.ndarray:
+        i = self._positions(local_rounds)  # (n,), shared by all replicas
+        return (state.ctag >> (self.config.k - i)[None, :]) & 1
+
+    def senders(self, state, tags, local_rounds, active, rng) -> np.ndarray:
+        return tags == 0
+
+    def receiver_mask(self, state, tags) -> np.ndarray:
+        # 0-bit senders target vertices currently advertising 1.
+        return tags == 1
+
+    def exchange(self, state, rep, proposers, acceptors) -> None:
+        # Both endpoints receive the other's *committed* pair into
+        # pending.  Flat (replica, vertex) indices let the shared
+        # pair kernels run over the whole batch at once.
+        n = state.ctag.shape[1]
+        fp = rep * n + proposers
+        fa = rep * n + acceptors
+        ptag, pkey = state.ptag.reshape(-1), state.pkey.reshape(-1)
+        ctag, ckey = state.ctag.reshape(-1), state.ckey.reshape(-1)
+        pair_min_inplace(ptag, pkey, fa, ctag[fp], ckey[fp])
+        pair_min_inplace(ptag, pkey, fp, ctag[fa], ckey[fa])
+
+    def end_round(self, state, round_index, local_rounds, active, live) -> None:
+        # Committing in a converged replica copies the target over
+        # itself, so no live-mask is needed for correctness.
+        boundary = active & (local_rounds % self.config.phase_len == 0)
+        if np.any(boundary):
+            state.ctag[:, boundary] = state.ptag[:, boundary]
+            state.ckey[:, boundary] = state.pkey[:, boundary]
+
+    def converged(self, state) -> np.ndarray:
+        t = state.target_tag[:, None]
+        k = state.target_key[:, None]
+        return (
+            ((state.ctag == t) & (state.ckey == k)).all(axis=1)
+            & ((state.ptag == t) & (state.pkey == k)).all(axis=1)
+        )
+
+    def observable(self, state) -> np.ndarray:
+        return (state.ctag == state.target_tag[:, None]) & (
+            state.ckey == state.target_key[:, None]
+        )
+
+    def leaders(self, state) -> np.ndarray:
+        """Current leader key per node per replica."""
+        return state.ckey

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batched import BatchedAlgorithm
 from repro.core.payload import Message, UID, UIDSpace
 from repro.core.protocol import LeaderElectionProtocol, RoundView
 from repro.core.vectorized import VectorizedAlgorithm
@@ -27,6 +28,7 @@ from repro.core.vectorized import VectorizedAlgorithm
 __all__ = [
     "BlindGossipNode",
     "BlindGossipVectorized",
+    "BlindGossipBatched",
     "make_blind_gossip_nodes",
 ]
 
@@ -111,4 +113,53 @@ class BlindGossipVectorized(VectorizedAlgorithm):
 
     def leaders(self, state) -> np.ndarray:
         """Current leader key per node (for instrumentation)."""
+        return state.best
+
+
+class BlindGossipBatched(BatchedAlgorithm):
+    """Replica-batched blind gossip for the batched engine.
+
+    Same kernel as :class:`BlindGossipVectorized` with a leading replica
+    axis; every replica shares the UID assignment (the trial axis varies
+    only the randomness, exactly as ``run_trials`` does).
+    """
+
+    tag_length = 0
+
+    def __init__(self, uid_keys: np.ndarray):
+        self._keys = np.asarray(uid_keys, dtype=np.int64)
+        if np.unique(self._keys).size != self._keys.size:
+            raise ValueError("UID keys must be unique")
+
+    class State:
+        __slots__ = ("best", "target")
+
+        def __init__(self, best: np.ndarray, target: int):
+            self.best = best
+            self.target = target
+
+    def init_state(self, n: int, seeds: np.ndarray) -> "BlindGossipBatched.State":
+        if self._keys.shape != (n,):
+            raise ValueError("uid_keys must have one key per vertex")
+        best = np.tile(self._keys, (len(seeds), 1))
+        return self.State(best, int(self._keys.min()))
+
+    # tags: inherited None (b = 0, no advertising).
+
+    def senders(self, state, tags, local_rounds, active, rng) -> np.ndarray:
+        return rng.random(state.best.shape) < 0.5
+
+    def exchange(self, state, rep, proposers, acceptors) -> None:
+        lo = np.minimum(state.best[rep, proposers], state.best[rep, acceptors])
+        state.best[rep, proposers] = lo
+        state.best[rep, acceptors] = lo
+
+    def converged(self, state) -> np.ndarray:
+        return (state.best == state.target).all(axis=1)
+
+    def observable(self, state) -> np.ndarray:
+        return state.best == state.target
+
+    def leaders(self, state) -> np.ndarray:
+        """Current leader key per node per replica (for instrumentation)."""
         return state.best

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batched import BatchedAlgorithm
 from repro.core.payload import Message, UID
 from repro.core.protocol import RoundView, RumorProtocol
 from repro.core.vectorized import VectorizedAlgorithm
 
-__all__ = ["PPushNode", "PPushVectorized", "make_ppush_nodes"]
+__all__ = ["PPushNode", "PPushVectorized", "PPushBatched", "make_ppush_nodes"]
 
 #: Tag advertised by informed nodes (paper: informed → 0, uninformed → 1).
 TAG_INFORMED = 0
@@ -113,3 +114,49 @@ class PPushVectorized(VectorizedAlgorithm):
     def informed_count(self, state) -> int:
         """Number of informed nodes (for per-round progress metrics)."""
         return int(state.informed.sum())
+
+
+class PPushBatched(BatchedAlgorithm):
+    """Replica-batched PPUSH for the batched engine."""
+
+    tag_length = 1
+
+    def __init__(self, sources: np.ndarray):
+        self._sources = np.asarray(sources, dtype=np.int64)
+        if self._sources.size == 0:
+            raise ValueError("need at least one source")
+
+    class State:
+        __slots__ = ("informed",)
+
+        def __init__(self, informed: np.ndarray):
+            self.informed = informed
+
+    def init_state(self, n: int, seeds: np.ndarray) -> "PPushBatched.State":
+        informed = np.zeros((len(seeds), n), dtype=bool)
+        informed[:, self._sources] = True
+        return self.State(informed)
+
+    def tags(self, state, local_rounds, active, rng) -> np.ndarray:
+        return np.where(state.informed, TAG_INFORMED, TAG_UNINFORMED).astype(np.int64)
+
+    def senders(self, state, tags, local_rounds, active, rng) -> np.ndarray:
+        return state.informed.copy()
+
+    def receiver_mask(self, state, tags) -> np.ndarray:
+        # Informed senders target only vertices advertising "uninformed".
+        return tags == TAG_UNINFORMED
+
+    def exchange(self, state, rep, proposers, acceptors) -> None:
+        # Proposers are informed by construction; acceptors learn the rumor.
+        state.informed[rep, acceptors] = True
+
+    def converged(self, state) -> np.ndarray:
+        return state.informed.all(axis=1)
+
+    def observable(self, state) -> np.ndarray:
+        return state.informed
+
+    def informed_count(self, state) -> np.ndarray:
+        """Informed nodes per replica (for per-round progress metrics)."""
+        return state.informed.sum(axis=1)

@@ -16,11 +16,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batched import BatchedAlgorithm
 from repro.core.payload import Message, UID
 from repro.core.protocol import RoundView, RumorProtocol
 from repro.core.vectorized import VectorizedAlgorithm
 
-__all__ = ["PushPullNode", "PushPullVectorized", "make_push_pull_nodes"]
+__all__ = [
+    "PushPullNode",
+    "PushPullVectorized",
+    "PushPullBatched",
+    "make_push_pull_nodes",
+]
 
 
 #: Rumor transfer directions: over a connection (proposer, acceptor),
@@ -143,3 +149,53 @@ class PushPullVectorized(VectorizedAlgorithm):
     def informed_count(self, state) -> int:
         """Number of informed nodes (for per-round progress metrics)."""
         return int(state.informed.sum())
+
+
+class PushPullBatched(BatchedAlgorithm):
+    """Replica-batched b=0 PUSH-PULL for the batched engine.
+
+    ``direction`` restricts rumor flow exactly as in
+    :class:`PushPullVectorized`.
+    """
+
+    tag_length = 0
+
+    def __init__(self, sources: np.ndarray, direction: str = "both"):
+        self._sources = np.asarray(sources, dtype=np.int64)
+        if self._sources.size == 0:
+            raise ValueError("need at least one source")
+        self._direction = _check_direction(direction)
+
+    class State:
+        __slots__ = ("informed",)
+
+        def __init__(self, informed: np.ndarray):
+            self.informed = informed
+
+    def init_state(self, n: int, seeds: np.ndarray) -> "PushPullBatched.State":
+        informed = np.zeros((len(seeds), n), dtype=bool)
+        informed[:, self._sources] = True
+        return self.State(informed)
+
+    # tags: inherited None (b = 0, no advertising).
+
+    def senders(self, state, tags, local_rounds, active, rng) -> np.ndarray:
+        return rng.random(state.informed.shape) < 0.5
+
+    def exchange(self, state, rep, proposers, acceptors) -> None:
+        if self._direction in ("both", "push"):
+            sel = state.informed[rep, proposers]
+            state.informed[rep[sel], acceptors[sel]] = True
+        if self._direction in ("both", "pull"):
+            sel = state.informed[rep, acceptors]
+            state.informed[rep[sel], proposers[sel]] = True
+
+    def converged(self, state) -> np.ndarray:
+        return state.informed.all(axis=1)
+
+    def observable(self, state) -> np.ndarray:
+        return state.informed
+
+    def informed_count(self, state) -> np.ndarray:
+        """Informed nodes per replica (for per-round progress metrics)."""
+        return state.informed.sum(axis=1)

@@ -28,7 +28,8 @@ from repro.core.protocol import (
 )
 from repro.core.engine import ReferenceEngine, ModelViolation
 from repro.core.vectorized import VectorizedEngine, VectorizedAlgorithm
-from repro.core.trace import Trace, RoundRecord, RunResult
+from repro.core.batched import BatchedVectorizedEngine, BatchedAlgorithm
+from repro.core.trace import Trace, RoundRecord, RunResult, BatchedRunResult
 from repro.core.monitor import all_leaders_are, all_leaders_equal, rumor_complete
 from repro.core.classical import classical_push_pull_rumor, classical_push_pull_leader
 
@@ -47,9 +48,12 @@ __all__ = [
     "ModelViolation",
     "VectorizedEngine",
     "VectorizedAlgorithm",
+    "BatchedVectorizedEngine",
+    "BatchedAlgorithm",
     "Trace",
     "RoundRecord",
     "RunResult",
+    "BatchedRunResult",
     "all_leaders_are",
     "all_leaders_equal",
     "rumor_complete",

@@ -1,0 +1,395 @@
+"""Batched multi-replica vectorized engine: T trials as one (T, n) computation.
+
+Every measurement in the harness is a distributional summary over dozens
+of independent seeded trials (the paper's guarantees are w.h.p., so the
+q90-over-trials is the measurement unit).  :class:`~repro.core.vectorized.VectorizedEngine`
+executes one trial per Python round-loop, so a T-trial sweep point pays
+the per-round NumPy dispatch overhead T times — the dominant cost at the
+small-to-mid ``n`` where most experiments live.
+
+This engine instead executes **T independent replicas of one
+configuration simultaneously**: every state array gains a leading replica
+axis ``(T, n)``, and each round is a single batch of kernel calls:
+
+1. the algorithm produces per-replica tags ``(T, n)`` and a sender mask;
+2. :func:`~repro.util.csrops.batched_random_pick` chooses every sender's
+   proposal target in every replica at once (shared CSR topology), or
+   :func:`~repro.util.csrops.segmented_random_pick` over a
+   :func:`~repro.util.csrops.stack_csr` block-diagonal CSR when replicas
+   have distinct topologies (dynamic/adversarial graphs);
+3. proposals to nodes that themselves proposed are dropped per replica;
+4. :func:`~repro.util.csrops.batched_uniform_accept` resolves all
+   replicas' acceptances with one sort;
+5. the algorithm applies the exchange for the flat (replica, pair) lists.
+
+Replicas that satisfy their convergence predicate are *masked out* (their
+senders go silent), so finished replicas stop contributing work while the
+stragglers run on — the batch finishes when the slowest replica does.
+
+Randomness: replica ``t``'s **initial state** is derived from trial seed
+``seeds[t]`` exactly as the single-replica engine derives it (same
+``make_rng(seed, "vec-init")`` labels), so initial states are
+bit-for-bit identical to ``T`` separate :class:`VectorizedEngine` runs.
+Round randomness comes from one engine-wide stream (keyed off
+``seeds[0]`` and the replica count); per-replica slices of that stream
+are mutually independent, so replicas remain independent trials — the
+engines are cross-validated distributionally, exactly like reference vs
+vectorized.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.trace import BatchedRunResult
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.static import Graph
+from repro.util.csrops import (
+    batched_random_pick,
+    csr_degrees,
+    segmented_random_pick,
+    segmented_uniform_accept_pairs,
+    stack_csr,
+)
+from repro.util.rng import make_rng
+
+__all__ = ["BatchedAlgorithm", "BatchedVectorizedEngine"]
+
+
+class BatchedAlgorithm(ABC):
+    """Replica-batched array-kernel form of an algorithm.
+
+    State is an algorithm-owned object of ``(T, n)`` NumPy arrays; the
+    engine threads it through the hooks below.  The single-replica
+    counterpart is :class:`~repro.core.vectorized.VectorizedAlgorithm`;
+    hooks mirror it with a leading replica axis, except that target
+    eligibility is expressed per *vertex* (``receiver_mask``) rather than
+    per CSR entry — every ported algorithm's eligibility depends only on
+    the target's advertised tag, and a vertex mask batches over distinct
+    replica topologies for free.
+    """
+
+    #: Advertising tag length ``b`` this algorithm requires.
+    tag_length: int = 0
+
+    @abstractmethod
+    def init_state(self, n: int, seeds: np.ndarray) -> object:
+        """Initial ``(T, n)`` state for ``T = len(seeds)`` replicas.
+
+        ``seeds[t]`` is replica ``t``'s trial seed; implementations must
+        derive replica ``t``'s initial state exactly as their vectorized
+        counterpart does for a single engine built with that seed.
+        """
+
+    def tags(
+        self,
+        state: object,
+        local_rounds: np.ndarray,
+        active: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray | None:
+        """``(T, n)`` advertised tags (ignored entries for inactive nodes).
+
+        The default ``None`` means "no advertising" (``b = 0``
+        algorithms); the engine then skips tag materialization entirely.
+        """
+        return None
+
+    @abstractmethod
+    def senders(
+        self,
+        state: object,
+        tags: np.ndarray,
+        local_rounds: np.ndarray,
+        active: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """``(T, n)`` boolean mask of nodes attempting to send a proposal."""
+
+    def receiver_mask(self, state: object, tags: np.ndarray) -> np.ndarray | None:
+        """Optional ``(T, n)`` per-vertex eligibility of proposal targets.
+
+        ``None`` means senders choose uniformly among all (active)
+        neighbors.
+        """
+        return None
+
+    @abstractmethod
+    def exchange(
+        self,
+        state: object,
+        rep: np.ndarray,
+        proposers: np.ndarray,
+        acceptors: np.ndarray,
+    ) -> None:
+        """Apply the exchange for connected pairs across all replicas.
+
+        ``proposers[i]`` connected to ``acceptors[i]`` inside replica
+        ``rep[i]`` (flat parallel arrays).
+        """
+
+    def end_round(
+        self,
+        state: object,
+        round_index: int,
+        local_rounds: np.ndarray,
+        active: np.ndarray,
+        live: np.ndarray,
+    ) -> None:
+        """Hook after connections (phase-boundary state transitions)."""
+
+    @abstractmethod
+    def converged(self, state: object) -> np.ndarray:
+        """``(T,)`` absorbing stabilization predicate per replica."""
+
+    def observable(self, state: object) -> np.ndarray | None:
+        """``(T, n)`` per-replica adaptive-adversary observation, or ``None``."""
+        return None
+
+
+class BatchedVectorizedEngine:
+    """Runs a :class:`BatchedAlgorithm` over T replicas of one configuration.
+
+    Parameters
+    ----------
+    dynamic_graph
+        Either one :class:`~repro.graphs.dynamic.DynamicGraph` shared by
+        every replica (static-topology experiments: one CSR serves the
+        whole batch) or a sequence of ``T`` per-replica dynamic graphs
+        (dynamic/adversarial experiments: each round's topologies are
+        stacked into a block-diagonal CSR).
+    algorithm
+        The batched algorithm kernel.
+    seeds
+        Per-replica trial seeds (the same integers
+        :func:`~repro.harness.runner.run_trials` would hand to ``T``
+        separate engines).
+    activation_rounds
+        1-indexed activation round per node, shared by all replicas.
+    """
+
+    def __init__(
+        self,
+        dynamic_graph: DynamicGraph | Sequence[DynamicGraph],
+        algorithm: BatchedAlgorithm,
+        *,
+        seeds: Sequence[int] | np.ndarray,
+        activation_rounds: Sequence[int] | np.ndarray | None = None,
+    ):
+        from repro.graphs.adversary import AdaptiveDynamicGraph
+
+        self.seeds = np.asarray(seeds, dtype=np.int64)
+        if self.seeds.ndim != 1 or self.seeds.size == 0:
+            raise ValueError("seeds must be a non-empty 1-D sequence")
+        self.replicas = int(self.seeds.size)
+
+        if isinstance(dynamic_graph, DynamicGraph):
+            if isinstance(dynamic_graph, AdaptiveDynamicGraph):
+                raise ValueError(
+                    "an adaptive dynamic graph cannot be shared across "
+                    "replicas (observations differ per replica); pass one "
+                    "adversary instance per replica"
+                )
+            self.dg: DynamicGraph | None = dynamic_graph
+            self.dgs: list[DynamicGraph] | None = None
+            self.n = dynamic_graph.n
+        else:
+            dgs = list(dynamic_graph)
+            if len(dgs) != self.replicas:
+                raise ValueError(
+                    f"need one dynamic graph per replica: got {len(dgs)} "
+                    f"graphs for {self.replicas} seeds"
+                )
+            if len({dg.n for dg in dgs}) != 1:
+                raise ValueError("all replica graphs must share the vertex count")
+            self.dg = None
+            self.dgs = dgs
+            self.n = dgs[0].n
+
+        self.algo = algorithm
+        if activation_rounds is None:
+            self.activation = np.ones(self.n, dtype=np.int64)
+        else:
+            self.activation = np.asarray(activation_rounds, dtype=np.int64)
+            if self.activation.shape != (self.n,) or self.activation.min() < 1:
+                raise ValueError("activation_rounds must be n 1-indexed rounds")
+        self._rng = make_rng(int(self.seeds[0]), "batched-engine", self.replicas)
+        self.state = self.algo.init_state(self.n, self.seeds)
+        #: Replicas still running (convergence masking).
+        self.live = np.ones(self.replicas, dtype=bool)
+        self.rounds_executed = 0
+        #: Cumulative connections established per replica (2 messages each).
+        self.connections_made = np.zeros(self.replicas, dtype=np.int64)
+        self._stack_key: tuple[int, ...] | None = None
+        self._stack: tuple[np.ndarray, np.ndarray] | None = None
+        self._deg_key: int | None = None
+        self._deg: np.ndarray | None = None
+        # Scratch buffer for the "a proposer cannot receive" rule; touched
+        # positions are reset after each round instead of reallocating.
+        self._proposed = np.zeros(self.replicas * self.n, dtype=bool)
+        # Flat id -> local vertex lookup (a gather beats an integer modulo
+        # on the hot path).
+        self._row_of = np.tile(np.arange(self.n, dtype=np.int64), self.replicas)
+
+    # -- topology ------------------------------------------------------------
+
+    def _stacked_csr(self, graphs: list[Graph]) -> tuple[np.ndarray, np.ndarray]:
+        """Block-diagonal CSR of this round's replica topologies (cached).
+
+        The per-epoch graph caches inside the dynamic graphs keep the
+        ``Graph`` objects alive, so object identity is a sound cache key
+        for "topologies unchanged since last round".
+        """
+        key = tuple(id(g) for g in graphs)
+        if key != self._stack_key:
+            self._stack = stack_csr([(g.indptr, g.indices) for g in graphs], self.n)
+            self._stack_key = key
+        assert self._stack is not None
+        return self._stack
+
+    def _degrees(self, graph: Graph) -> np.ndarray:
+        """Vertex degrees of the current shared topology (cached by identity)."""
+        if id(graph) != self._deg_key:
+            self._deg = csr_degrees(graph.indptr)
+            self._deg_key = id(graph)
+        assert self._deg is not None
+        return self._deg
+
+    # -- single round --------------------------------------------------------
+
+    def step(self, r: int) -> None:
+        """Execute global round ``r`` (1-indexed) in every live replica."""
+        from repro.graphs.adversary import AdaptiveDynamicGraph
+
+        T, n = self.replicas, self.n
+        active = self.activation <= r
+        local_rounds = np.maximum(r - self.activation + 1, 0)
+        rng = self._rng
+
+        if self.dgs is not None and any(
+            isinstance(dg, AdaptiveDynamicGraph) for dg in self.dgs
+        ):
+            obs = self.algo.observable(self.state)
+            for t, dg in enumerate(self.dgs):
+                if isinstance(dg, AdaptiveDynamicGraph):
+                    dg.observe(r, None if obs is None else obs[t])
+
+        tags = self.algo.tags(self.state, local_rounds, active, rng)
+        sender = self.algo.senders(self.state, tags, local_rounds, active, rng)
+        sender = sender & self.live[:, None]
+        all_active = bool(active.all())
+        if not all_active:
+            sender &= active[None, :]
+        recv = self.algo.receiver_mask(self.state, tags)
+
+        # Target eligibility per vertex: must be active; algorithms may
+        # restrict further.  All-active with no algorithm mask takes the
+        # unmasked (fastest) kernel path.
+        if recv is not None:
+            nb_mask = recv if all_active else (recv & active[None, :])
+        elif all_active:
+            nb_mask = None
+        else:
+            nb_mask = np.broadcast_to(active, (T, n))
+
+        # The hot path works on compact flat (replica, vertex) ids
+        # (flat id = t*n + v): one flatnonzero pass over the batch instead
+        # of dense (T, n) intermediates re-scanned at every stage.
+        if self.dg is not None:
+            graph = self.dg.graph_at(r)
+            if nb_mask is None:
+                # Unmasked shared CSR: gather each sender's degree and
+                # draw its neighbor offset directly — no pick grid at all.
+                sflat = np.flatnonzero(sender)
+                rows = self._row_of[sflat]
+                d = self._degrees(graph)[rows]
+                ok = d > 0
+                if not ok.all():
+                    sflat, rows, d = sflat[ok], rows[ok], d[ok]
+                if sflat.size:
+                    # floor(u * d) for u ~ U[0, 1): uniform over [0, d)
+                    # up to an O(d / 2^53) rounding bias — immaterial
+                    # here, and roughly half the cost of a per-element
+                    # bounded integer draw.
+                    offsets = (rng.random(d.size) * d).astype(np.int64)
+                    tloc = graph.indices[graph.indptr[rows] + offsets]
+                    tflat = (sflat - rows) + tloc
+                else:
+                    tflat = sflat
+            else:
+                picks = batched_random_pick(
+                    graph.indptr, graph.indices, rng, sender, neighbor_mask=nb_mask
+                )
+                pf = picks.reshape(T * n)
+                sflat = np.flatnonzero(pf >= 0)
+                tflat = (sflat - self._row_of[sflat]) + pf[sflat]
+        else:
+            assert self.dgs is not None
+            indptr_s, indices_s = self._stacked_csr(
+                [dg.graph_at(r) for dg in self.dgs]
+            )
+            flat_nb = None if nb_mask is None else np.ascontiguousarray(nb_mask).reshape(T * n)
+            flat_picks = segmented_random_pick(
+                indptr_s,
+                indices_s,
+                rng,
+                active=np.ascontiguousarray(sender).reshape(T * n),
+                neighbor_mask=flat_nb,
+            )
+            # Stacked vertex ids are already flat t*n + v ids.
+            sflat = np.flatnonzero(flat_picks >= 0)
+            tflat = flat_picks[sflat]
+
+        if sflat.size:
+            # A node that issued a proposal cannot receive one (per replica).
+            proposed = self._proposed
+            proposed[sflat] = True
+            keep = np.flatnonzero(~proposed[tflat])
+            proposed[sflat] = False  # reset only the touched scratch entries
+            acc_flat, win_flat = segmented_uniform_accept_pairs(
+                sflat.take(keep), tflat.take(keep), rng
+            )
+            if acc_flat.size:
+                arep = acc_flat // n
+                self.connections_made += np.bincount(arep, minlength=T)
+                self.algo.exchange(self.state, arep, win_flat % n, acc_flat % n)
+
+        self.algo.end_round(self.state, r, local_rounds, active, self.live)
+
+    # -- full runs -----------------------------------------------------------
+
+    def run(self, max_rounds: int, *, check_every: int = 1) -> BatchedRunResult:
+        """Run until every replica's convergence predicate or ``max_rounds``."""
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        T = self.replicas
+        last_activation = int(self.activation.max())
+        rounds = np.full(T, max_rounds, dtype=np.int64)
+        stabilized = np.zeros(T, dtype=bool)
+        for r in range(1, max_rounds + 1):
+            self.step(r)
+            self.rounds_executed = r
+            if r % check_every == 0:
+                conv = np.asarray(self.algo.converged(self.state), dtype=bool)
+                newly = self.live & conv
+                if newly.any():
+                    rounds[newly] = r
+                    stabilized[newly] = True
+                    self.live = self.live & ~conv
+                    if not self.live.any():
+                        break
+        if self.live.any():
+            # Horizon reached: replicas converging on the final round
+            # outside the check stride still count, as in the single engine.
+            conv = np.asarray(self.algo.converged(self.state), dtype=bool)
+            stabilized[self.live & conv] = True
+        return BatchedRunResult(
+            stabilized=stabilized,
+            rounds=rounds,
+            rounds_after_last_activation=np.maximum(
+                0, rounds - last_activation + 1
+            ),
+        )

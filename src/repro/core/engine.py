@@ -139,7 +139,10 @@ class ReferenceEngine:
             if target is None:
                 continue
             target = int(target)
-            if nbrs.size == 0 or target not in set(int(x) for x in nbrs):
+            # nbrs is sorted (CSR adjacency, order preserved by the
+            # active filter), so membership is a binary search.
+            pos = int(np.searchsorted(nbrs, target))
+            if pos == nbrs.size or int(nbrs[pos]) != target:
                 raise ModelViolation(
                     f"node {u} proposed to {target}, not an active neighbor in round {r}"
                 )

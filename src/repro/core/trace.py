@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RoundRecord", "Trace", "RunResult"]
+__all__ = ["RoundRecord", "Trace", "RunResult", "BatchedRunResult"]
 
 
 @dataclass(frozen=True)
@@ -118,3 +118,32 @@ class RunResult:
     rounds: int
     rounds_after_last_activation: int
     trace: Trace | None = None
+
+
+@dataclass(frozen=True)
+class BatchedRunResult:
+    """Per-replica outcomes of one :class:`~repro.core.batched.BatchedVectorizedEngine` run.
+
+    Array analogue of :class:`RunResult` over the replica axis: entry ``t``
+    describes replica ``t`` exactly as a :class:`RunResult` would describe
+    the corresponding single-replica run.
+    """
+
+    #: ``(T,)`` bool — whether each replica stabilized within the horizon.
+    stabilized: np.ndarray
+    #: ``(T,)`` int — rounds until stabilization (or the horizon).
+    rounds: np.ndarray
+    #: ``(T,)`` int — rounds counted from the last activation round.
+    rounds_after_last_activation: np.ndarray
+
+    @property
+    def replicas(self) -> int:
+        return int(self.stabilized.shape[0])
+
+    def replica(self, t: int) -> RunResult:
+        """The ``RunResult`` view of replica ``t``."""
+        return RunResult(
+            stabilized=bool(self.stabilized[t]),
+            rounds=int(self.rounds[t]),
+            rounds_after_last_activation=int(self.rounds_after_last_activation[t]),
+        )

@@ -8,7 +8,13 @@ ablations (``A1``-``A3``); each returns an ASCII
 its claim's shape conditions.
 """
 
-from repro.harness.runner import TrialOutcome, run_trials, trial_summary
+from repro.harness.runner import (
+    TrialOutcome,
+    run_trials,
+    run_trials_batched,
+    trial_seeds_for,
+    trial_summary,
+)
 from repro.harness.sweep import grid, geometric_range
 from repro.harness.tables import Table
 from repro.harness.experiments import EXPERIMENTS, Experiment, run_experiment
@@ -19,6 +25,8 @@ from repro.harness.verify import CheckResult, verify_experiment
 __all__ = [
     "TrialOutcome",
     "run_trials",
+    "run_trials_batched",
+    "trial_seeds_for",
     "trial_summary",
     "grid",
     "geometric_range",

@@ -26,9 +26,9 @@ from repro.algorithms.bit_convergence import (
     BitConvergenceVectorized,
     draw_id_tags,
 )
-from repro.algorithms.blind_gossip import BlindGossipVectorized
+from repro.algorithms.blind_gossip import BlindGossipBatched, BlindGossipVectorized
 from repro.algorithms.ppush import PPushVectorized
-from repro.algorithms.push_pull import PushPullVectorized
+from repro.algorithms.push_pull import PushPullBatched, PushPullVectorized
 from repro.analysis import bounds
 from repro.analysis.expansion import vertex_expansion, vertex_expansion_exact
 from repro.analysis.matching import gamma_exact
@@ -42,7 +42,7 @@ from repro.graphs.dynamic import (
     StaticDynamicGraph,
 )
 from repro.graphs.static import Graph
-from repro.harness.runner import run_trials, trial_summary
+from repro.harness.runner import run_trials, run_trials_batched, trial_summary
 from repro.harness.tables import Table
 from repro.util.rng import make_rng
 
@@ -88,6 +88,19 @@ def _churn(base: Graph, tau: float, seed: int) -> DynamicGraph:
 def _median_rounds(build, *, trials: int, max_rounds: int, seed: int) -> float:
     outcomes = run_trials(build, trials=trials, max_rounds=max_rounds, seed=seed)
     return trial_summary(outcomes).median
+
+
+def _median_rounds_batched(build_batched, *, trials: int, max_rounds: int, seed: int) -> float:
+    outcomes = run_trials_batched(
+        build_batched, trials=trials, max_rounds=max_rounds, seed=seed
+    )
+    return trial_summary(outcomes).median
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in ("single", "batched"):
+        raise ValueError(f"engine must be 'single' or 'batched', got {engine!r}")
+    return engine
 
 
 # ---------------------------------------------------------------------------
@@ -212,12 +225,18 @@ def exp_blind_gossip_scaling(
     trials: int = 10,
     seed: int = 0,
     max_rounds: int = 400_000,
+    engine: str = "single",
 ) -> Table:
     """Blind gossip rounds vs Δ on the double star, static and τ=1 churn.
 
     The double star isolates the ``Δ²`` bottleneck: the hub-to-hub edge
     connects with probability ``≈ 1/Δ²`` per round.
+
+    ``engine="batched"`` runs all trials of each sweep point as one
+    :class:`~repro.core.batched.BatchedVectorizedEngine` (statistically
+    equivalent, much faster at small n).
     """
+    _check_engine(engine)
     table = Table(
         title="E3 (Thm VI.1): blind gossip stabilization vs Delta (double star)",
         columns=["Delta", "n", "alpha", "rounds static", "rounds tau=1", "bound shape"],
@@ -234,24 +253,43 @@ def exp_blind_gossip_scaling(
         alpha = families.star_expansion(n) if False else 1.0 / (n // 2)
         keys = uid_keys_random(n, seed + k)
 
-        def build_static(ts: int, base=base, keys=keys) -> VectorizedEngine:
-            return VectorizedEngine(
-                StaticDynamicGraph(base), BlindGossipVectorized(keys), seed=ts
-            )
+        if engine == "batched":
 
-        def build_churn(ts: int, base=base, keys=keys) -> VectorizedEngine:
-            return VectorizedEngine(
-                PeriodicRelabelDynamicGraph(base, 1, seed=ts),
-                BlindGossipVectorized(keys),
-                seed=ts,
-            )
+            def build_static_b(seeds, base=base, keys=keys):
+                return StaticDynamicGraph(base), BlindGossipBatched(keys)
 
-        med_static = _median_rounds(
-            build_static, trials=trials, max_rounds=max_rounds, seed=seed
-        )
-        med_churn = _median_rounds(
-            build_churn, trials=trials, max_rounds=max_rounds, seed=seed + 1
-        )
+            def build_churn_b(seeds, base=base, keys=keys):
+                dgs = [
+                    PeriodicRelabelDynamicGraph(base, 1, seed=int(ts)) for ts in seeds
+                ]
+                return dgs, BlindGossipBatched(keys)
+
+            med_static = _median_rounds_batched(
+                build_static_b, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            med_churn = _median_rounds_batched(
+                build_churn_b, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
+        else:
+
+            def build_static(ts: int, base=base, keys=keys) -> VectorizedEngine:
+                return VectorizedEngine(
+                    StaticDynamicGraph(base), BlindGossipVectorized(keys), seed=ts
+                )
+
+            def build_churn(ts: int, base=base, keys=keys) -> VectorizedEngine:
+                return VectorizedEngine(
+                    PeriodicRelabelDynamicGraph(base, 1, seed=ts),
+                    BlindGossipVectorized(keys),
+                    seed=ts,
+                )
+
+            med_static = _median_rounds(
+                build_static, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            med_churn = _median_rounds(
+                build_churn, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
         table.add_row(
             delta,
             n,
@@ -281,6 +319,7 @@ def exp_lower_bound_line_of_stars(
     trials: int = 8,
     seed: int = 0,
     max_rounds: int = 600_000,
+    engine: str = "single",
 ) -> Table:
     """Blind gossip on the line of stars with the minimum UID at ``u_1``.
 
@@ -297,6 +336,7 @@ def exp_lower_bound_line_of_stars(
             "ratio = measured / (Delta^2 * s); shape holds if roughly constant.",
         ],
     )
+    _check_engine(engine)
     ss, measured = [], []
     for s in star_sizes:
         g = families.line_of_stars(s, s)
@@ -304,12 +344,22 @@ def exp_lower_bound_line_of_stars(
         alpha = families.line_of_stars_expansion(s, s)
         keys = uid_keys_with_min_at(n, 0, seed + s)
 
-        def build(ts: int, g=g, keys=keys) -> VectorizedEngine:
-            return VectorizedEngine(
-                StaticDynamicGraph(g), BlindGossipVectorized(keys), seed=ts
-            )
+        if engine == "batched":
 
-        med = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
+            def build_b(seeds, g=g, keys=keys):
+                return StaticDynamicGraph(g), BlindGossipBatched(keys)
+
+            med = _median_rounds_batched(
+                build_b, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+        else:
+
+            def build(ts: int, g=g, keys=keys) -> VectorizedEngine:
+                return VectorizedEngine(
+                    StaticDynamicGraph(g), BlindGossipVectorized(keys), seed=ts
+                )
+
+            med = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
         pred = delta * delta * s
         table.add_row(s, n, delta, alpha, med, pred, med / pred)
         ss.append(s)
@@ -333,8 +383,10 @@ def exp_push_pull(
     trials: int = 10,
     seed: int = 0,
     max_rounds: int = 400_000,
+    engine: str = "single",
 ) -> Table:
     """PUSH-PULL completion vs Δ on the double star (source at a hub-1 leaf)."""
+    _check_engine(engine)
     table = Table(
         title="E5 (Cor VI.6): b=0 PUSH-PULL rumor spreading vs Delta (double star)",
         columns=["Delta", "n", "rounds static", "rounds tau=1", "bound shape"],
@@ -350,24 +402,43 @@ def exp_push_pull(
         alpha = 1.0 / (n // 2)
         source = np.array([2])  # first leaf of hub 0: rumor must cross both hubs
 
-        def build_static(ts: int, base=base, source=source) -> VectorizedEngine:
-            return VectorizedEngine(
-                StaticDynamicGraph(base), PushPullVectorized(source), seed=ts
-            )
+        if engine == "batched":
 
-        def build_churn(ts: int, base=base, source=source) -> VectorizedEngine:
-            return VectorizedEngine(
-                PeriodicRelabelDynamicGraph(base, 1, seed=ts),
-                PushPullVectorized(source),
-                seed=ts,
-            )
+            def build_static_b(seeds, base=base, source=source):
+                return StaticDynamicGraph(base), PushPullBatched(source)
 
-        med_static = _median_rounds(
-            build_static, trials=trials, max_rounds=max_rounds, seed=seed
-        )
-        med_churn = _median_rounds(
-            build_churn, trials=trials, max_rounds=max_rounds, seed=seed + 1
-        )
+            def build_churn_b(seeds, base=base, source=source):
+                dgs = [
+                    PeriodicRelabelDynamicGraph(base, 1, seed=int(ts)) for ts in seeds
+                ]
+                return dgs, PushPullBatched(source)
+
+            med_static = _median_rounds_batched(
+                build_static_b, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            med_churn = _median_rounds_batched(
+                build_churn_b, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
+        else:
+
+            def build_static(ts: int, base=base, source=source) -> VectorizedEngine:
+                return VectorizedEngine(
+                    StaticDynamicGraph(base), PushPullVectorized(source), seed=ts
+                )
+
+            def build_churn(ts: int, base=base, source=source) -> VectorizedEngine:
+                return VectorizedEngine(
+                    PeriodicRelabelDynamicGraph(base, 1, seed=ts),
+                    PushPullVectorized(source),
+                    seed=ts,
+                )
+
+            med_static = _median_rounds(
+                build_static, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            med_churn = _median_rounds(
+                build_churn, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
         table.add_row(
             delta, n, med_static, med_churn, bounds.push_pull_upper(n, alpha, delta)
         )
@@ -1666,21 +1737,25 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Thm VI.1: blind gossip O((1/alpha) Delta^2 log^2 n)",
             exp_blind_gossip_scaling,
             quick=dict(leaf_counts=(4, 8, 16), trials=6),
-            standard=dict(leaf_counts=(4, 8, 16, 32, 64), trials=20),
+            standard=dict(
+                leaf_counts=(4, 8, 16, 32, 64), trials=20, engine="batched"
+            ),
         ),
         Experiment(
             "E4",
             "Sec VI: Omega(Delta^2/sqrt(alpha)) on the line of stars",
             exp_lower_bound_line_of_stars,
             quick=dict(star_sizes=(3, 4, 5), trials=5),
-            standard=dict(star_sizes=(3, 4, 5, 6, 8), trials=15),
+            standard=dict(star_sizes=(3, 4, 5, 6, 8), trials=15, engine="batched"),
         ),
         Experiment(
             "E5",
             "Cor VI.6: PUSH-PULL O((1/alpha) Delta^2 log^2 n) at b=0",
             exp_push_pull,
             quick=dict(leaf_counts=(4, 8, 16), trials=6),
-            standard=dict(leaf_counts=(4, 8, 16, 32, 64), trials=20),
+            standard=dict(
+                leaf_counts=(4, 8, 16, 32, 64), trials=20, engine="batched"
+            ),
         ),
         Experiment(
             "E6",

@@ -8,11 +8,16 @@ empirical analogue of a w.h.p. bound).
 ``build`` callables receive a trial seed and return a fresh engine; trials
 can fan out over processes when the builder is picklable (module-level
 functions / :func:`functools.partial`), per the standard multiprocessing
-constraint.
+constraint.  :func:`run_trials_batched` instead executes *all* trials of
+one configuration as a single :class:`~repro.core.batched.BatchedVectorizedEngine`
+run — the fast path for static-topology sweeps.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence
@@ -20,10 +25,24 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from repro.analysis.statistics import Summary, summarize
+from repro.core.batched import BatchedAlgorithm, BatchedVectorizedEngine
 from repro.core.trace import RunResult
+from repro.graphs.dynamic import DynamicGraph
 from repro.util.rng import make_rng
 
-__all__ = ["TrialOutcome", "run_trials", "trial_summary", "EngineLike"]
+__all__ = [
+    "TrialOutcome",
+    "run_trials",
+    "run_trials_batched",
+    "trial_seeds_for",
+    "trial_summary",
+    "default_processes",
+    "EngineLike",
+]
+
+#: Environment variable giving the default worker-process count for
+#: ``run_trials`` when ``processes`` is not passed explicitly.
+PROCESSES_ENV = "REPRO_PROCESSES"
 
 
 class EngineLike(Protocol):
@@ -42,6 +61,32 @@ class TrialOutcome:
     rounds_after_last_activation: int
 
 
+def trial_seeds_for(seed: int, trials: int) -> list[int]:
+    """The deterministic trial-seed sequence every runner derives from ``seed``.
+
+    Exposed so that alternative execution strategies (batched, distributed)
+    reproduce exactly the trials the serial runner would run.
+    """
+    return [
+        int(s)
+        for s in make_rng(seed, "trial-seeds").integers(0, 2**31 - 1, size=trials)
+    ]
+
+
+def default_processes() -> int | None:
+    """Worker-count default from the ``REPRO_PROCESSES`` env var (or ``None``)."""
+    raw = os.environ.get(PROCESSES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{PROCESSES_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return value if value > 1 else None
+
+
 def _one_trial(
     build: Callable[[int], EngineLike],
     seed: int,
@@ -56,6 +101,15 @@ def _one_trial(
         rounds=result.rounds,
         rounds_after_last_activation=result.rounds_after_last_activation,
     )
+
+
+def _trial_chunk(
+    build: Callable[[int], EngineLike],
+    seeds: Sequence[int],
+    max_rounds: int,
+    check_every: int,
+) -> list[TrialOutcome]:
+    return [_one_trial(build, s, max_rounds, check_every) for s in seeds]
 
 
 def run_trials(
@@ -81,21 +135,108 @@ def run_trials(
         Convergence-check stride forwarded to the engine (checking every
         round is exact but can dominate runtime for cheap rounds).
     processes
-        Fan out over this many worker processes (``None`` = run serially).
+        Fan out over this many worker processes.  ``None`` reads the
+        ``REPRO_PROCESSES`` environment variable; unset/empty (or ≤ 1)
+        runs serially.  Trial seeds are split into one contiguous chunk
+        per worker, so cheap trials pay one pickling round-trip per
+        worker instead of one per trial.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
-    trial_seeds = [
-        int(s) for s in make_rng(seed, "trial-seeds").integers(0, 2**31 - 1, size=trials)
-    ]
+    trial_seeds = trial_seeds_for(seed, trials)
+    from_env = processes is None
+    if from_env:
+        processes = default_processes()
     if processes is None or processes <= 1 or trials == 1:
-        return [_one_trial(build, s, max_rounds, check_every) for s in trial_seeds]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return _trial_chunk(build, trial_seeds, max_rounds, check_every)
+    try:
+        pickle.dumps(build)
+    except Exception as exc:
+        # Outcomes are identical either way (each trial is independently
+        # seeded), so the env-var default degrades gracefully instead of
+        # breaking closure-based builders; an explicit request errors.
+        if from_env:
+            warnings.warn(
+                f"{PROCESSES_ENV}={processes} ignored: the trial builder "
+                f"is not picklable ({exc!r}); running serially",
+                stacklevel=2,
+            )
+            return _trial_chunk(build, trial_seeds, max_rounds, check_every)
+        raise ValueError(
+            "processes > 1 requires a picklable builder (module-level "
+            "function or functools.partial), got one that fails to "
+            f"pickle: {exc!r}"
+        ) from exc
+    workers = min(processes, trials)
+    chunks = [list(c) for c in np.array_split(trial_seeds, workers)]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(_one_trial, build, s, max_rounds, check_every)
-            for s in trial_seeds
+            pool.submit(_trial_chunk, build, chunk, max_rounds, check_every)
+            for chunk in chunks
         ]
-        return [f.result() for f in futures]
+        out: list[TrialOutcome] = []
+        for f in futures:
+            out.extend(f.result())
+        return out
+
+
+def run_trials_batched(
+    build_batched: Callable[
+        [Sequence[int]], tuple[DynamicGraph | Sequence[DynamicGraph], BatchedAlgorithm]
+    ],
+    *,
+    trials: int,
+    max_rounds: int,
+    seed: int = 0,
+    check_every: int = 1,
+    activation_rounds: Sequence[int] | np.ndarray | None = None,
+) -> list[TrialOutcome]:
+    """Run all ``trials`` of one configuration as a single batched engine.
+
+    The fast path for trial sweeps: one
+    :class:`~repro.core.batched.BatchedVectorizedEngine` executes every
+    trial simultaneously with a leading replica axis, so per-round NumPy
+    dispatch overhead is paid once instead of once per trial.
+
+    Parameters
+    ----------
+    build_batched
+        ``build_batched(trial_seeds)`` returns the ``(dynamic_graph,
+        batched_algorithm)`` pair for the whole batch — either one shared
+        :class:`~repro.graphs.dynamic.DynamicGraph` (static topologies)
+        or one dynamic graph per trial seed (per-trial topology
+        randomness, e.g. churn relabelings keyed on the trial seed).
+    trials, max_rounds, seed, check_every
+        As in :func:`run_trials`; the trial-seed sequence is identical,
+        so outcome lists from the two runners describe the same trials.
+    activation_rounds
+        Optional shared activation schedule forwarded to the engine.
+
+    Returns
+    -------
+    The same ``list[TrialOutcome]`` shape :func:`run_trials` produces
+    (one outcome per trial seed, in seed order).  The engines are not
+    trace-identical — round randomness is drawn from a batch-wide stream
+    — so distributions, not individual trials, are comparable; see
+    ``tests/test_batched_cross_validation.py``.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    seeds = trial_seeds_for(seed, trials)
+    dynamic_graph, algorithm = build_batched(seeds)
+    engine = BatchedVectorizedEngine(
+        dynamic_graph, algorithm, seeds=seeds, activation_rounds=activation_rounds
+    )
+    result = engine.run(max_rounds, check_every=check_every)
+    return [
+        TrialOutcome(
+            seed=seeds[t],
+            stabilized=bool(result.stabilized[t]),
+            rounds=int(result.rounds[t]),
+            rounds_after_last_activation=int(result.rounds_after_last_activation[t]),
+        )
+        for t in range(trials)
+    ]
 
 
 def trial_summary(outcomes: Sequence[TrialOutcome], *, after_activation: bool = False) -> Summary:

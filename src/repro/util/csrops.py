@@ -17,9 +17,28 @@ Both are fully vectorized (no per-node Python loop); this is the hot path
 identified when profiling large sweeps, per the optimize-the-bottleneck
 workflow.  The reference engine implements the same semantics with plain
 per-node loops and the two are cross-validated in the test suite.
+
+The batched round engine (:mod:`repro.core.batched`) runs ``T``
+independent replicas of one configuration at once and needs the same two
+primitives with a leading replica axis:
+
+``batched_random_pick``
+    per-replica uniform neighbor choice over a *shared* CSR topology,
+    with ``(T, n)``/``(T, nnz)`` masks — one kernel dispatch covers all
+    replicas of a round;
+
+``batched_uniform_accept``
+    per-(replica, receiver) uniform acceptance over flat proposal arrays
+    carrying a replica id — one sort covers all replicas.
+
+Replicas with *distinct* topologies (dynamic/adversarial graphs) are
+handled by :func:`stack_csr`, which assembles a block-diagonal CSR so the
+plain segmented kernels batch over ``T·n`` vertices directly.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -28,7 +47,19 @@ __all__ = [
     "csr_degrees",
     "segmented_random_pick",
     "segmented_uniform_accept",
+    "segmented_uniform_accept_pairs",
+    "batched_random_pick",
+    "batched_uniform_accept",
+    "stack_csr",
 ]
+
+
+def _require_bool(name: str, mask: np.ndarray) -> None:
+    if mask.dtype != np.bool_:
+        raise TypeError(
+            f"{name} must have dtype bool, got {mask.dtype} (a non-boolean "
+            "mask would be summed, not tested, by the eligibility count)"
+        )
 
 
 def build_csr(n: int, edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -117,6 +148,8 @@ def segmented_random_pick(
     pick = np.full(n, -1, dtype=np.int64)
     if active is None:
         active = np.ones(n, dtype=bool)
+    else:
+        _require_bool("active", active)
 
     if neighbor_mask is None and flat_mask is None:
         deg = csr_degrees(indptr)
@@ -129,23 +162,31 @@ def segmented_random_pick(
 
     # Masked variant: count eligible entries per row via a running sum over
     # the flat eligibility array, then locate the j-th eligible entry of a
-    # row by binary search on that running sum.
+    # row by binary search on that running sum.  ``csum[i - 1]`` is the
+    # number of eligible entries among ``flat[:i]`` (0 for ``i = 0``), so
+    # per-row counts index ``csum`` directly — no shifted copy is built.
     if neighbor_mask is not None:
+        _require_bool("neighbor_mask", neighbor_mask)
         eligible = neighbor_mask[indices]
         if flat_mask is not None:
+            _require_bool("flat_mask", flat_mask)
             eligible = eligible & flat_mask
     else:
         if flat_mask.shape != indices.shape:
             raise ValueError("flat_mask must align with indices")
+        _require_bool("flat_mask", flat_mask)
         eligible = flat_mask
+    if eligible.size == 0:
+        return pick
     csum = np.cumsum(eligible, dtype=np.int64)
-    ccount = np.concatenate([[0], csum])  # ccount[i] = eligible among flat[:i]
-    row_counts = ccount[indptr[1:]] - ccount[indptr[:-1]]
-    rows = np.flatnonzero(active & (row_counts > 0))
+    starts, ends = indptr[:-1], indptr[1:]
+    cnt_start = np.where(starts > 0, csum[starts - 1], 0)
+    cnt_end = np.where(ends > 0, csum[ends - 1], 0)
+    rows = np.flatnonzero(active & (cnt_end > cnt_start))
     if rows.size == 0:
         return pick
-    j = rng.integers(0, row_counts[rows])  # j-th eligible entry within row
-    target_rank = ccount[indptr[rows]] + j + 1
+    j = rng.integers(0, (cnt_end - cnt_start)[rows])  # j-th eligible entry
+    target_rank = cnt_start[rows] + j + 1
     flat_pos = np.searchsorted(csum, target_rank, side="left")
     pick[rows] = indices[flat_pos]
     return pick
@@ -171,13 +212,38 @@ def segmented_uniform_accept(
         proposal ``v`` accepted, or ``-1`` if ``v`` received none.
     """
     accepted = np.full(n, -1, dtype=np.int64)
+    receivers, winners = segmented_uniform_accept_pairs(senders, targets, rng)
+    accepted[receivers] = winners
+    return accepted
+
+
+def segmented_uniform_accept_pairs(
+    senders: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compact form of :func:`segmented_uniform_accept`.
+
+    Same acceptance rule and identical RNG consumption, but instead of a
+    dense length-``n`` array it returns the parallel pair
+    ``(receivers, winners)``: each distinct target exactly once, with the
+    sender whose proposal it accepted.  The engines' hot path uses this
+    form to avoid materializing (and re-scanning) a dense per-vertex
+    array when only the established connections matter.
+    """
     senders = np.asarray(senders, dtype=np.int64)
     targets = np.asarray(targets, dtype=np.int64)
     if senders.shape != targets.shape:
         raise ValueError("senders and targets must have equal shape")
     if senders.size == 0:
-        return accepted
-    order = np.argsort(targets, kind="stable")
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    # Stable-by-target order via a unique composite key: quicksort on
+    # distinct keys yields exactly the (target, input-position) order a
+    # stable sort would, at a fraction of the cost of kind="stable" on
+    # the raw (highly duplicated) targets.
+    m = targets.size
+    order = np.argsort(targets * m + np.arange(m, dtype=np.int64))
     s_sorted = senders[order]
     t_sorted = targets[order]
     # Group boundaries: starts[i]..starts[i+1] share one target.
@@ -187,6 +253,160 @@ def segmented_uniform_accept(
     starts = np.flatnonzero(is_start)
     ends = np.concatenate([starts[1:], [t_sorted.size]])
     sizes = ends - starts
-    chosen = starts + rng.integers(0, sizes)
-    accepted[t_sorted[starts]] = s_sorted[chosen]
-    return accepted
+    # floor(u * size), u ~ U[0, 1): uniform over each group up to an
+    # O(size / 2^53) rounding bias, at about half the cost of a
+    # per-element bounded integer draw.
+    chosen = starts + (rng.random(starts.size) * sizes).astype(np.int64)
+    return t_sorted[starts], s_sorted[chosen]
+
+
+def batched_random_pick(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+    active: np.ndarray,
+    *,
+    neighbor_mask: np.ndarray | None = None,
+    flat_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-replica uniform neighbor choice over one *shared* CSR topology.
+
+    Semantically equivalent to calling :func:`segmented_random_pick` once
+    per replica with that replica's masks, but all ``T`` replicas are
+    served by a single cumulative sum and a single binary search — the
+    per-round NumPy dispatch overhead is paid once instead of ``T`` times.
+
+    Parameters
+    ----------
+    indptr, indices
+        CSR adjacency shared by every replica (static-topology runs).
+    rng
+        Generator for the per-(replica, row) uniform draws.
+    active
+        ``(T, n)`` boolean sender mask (required: it fixes the replica
+        count ``T``).
+    neighbor_mask
+        Optional ``(T, n)`` boolean per-replica vertex eligibility.
+    flat_mask
+        Optional ``(T, nnz)`` boolean per-replica CSR-entry eligibility,
+        combined (AND) with ``neighbor_mask`` when both given.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(T, n)`` picks; ``pick[t, u]`` is the chosen neighbor of ``u``
+        in replica ``t`` or ``-1``.
+    """
+    _require_bool("active", active)
+    if active.ndim != 2:
+        raise ValueError("active must have shape (T, n)")
+    T, n = active.shape
+    if indptr.shape[0] != n + 1:
+        raise ValueError("active rows must match the CSR vertex count")
+    nnz = indices.shape[0]
+    pick = np.full((T, n), -1, dtype=np.int64)
+
+    if neighbor_mask is None and flat_mask is None:
+        deg = csr_degrees(indptr)
+        rep, rows = np.nonzero(active & (deg > 0)[None, :])
+        if rep.size == 0:
+            return pick
+        offsets = rng.integers(0, deg[rows])
+        pick[rep, rows] = indices[indptr[rows] + offsets]
+        return pick
+
+    if neighbor_mask is not None:
+        _require_bool("neighbor_mask", neighbor_mask)
+        if neighbor_mask.shape != (T, n):
+            raise ValueError("neighbor_mask must have shape (T, n)")
+        eligible = neighbor_mask[:, indices]
+        if flat_mask is not None:
+            _require_bool("flat_mask", flat_mask)
+            eligible = eligible & flat_mask
+    else:
+        if flat_mask.shape != (T, nnz):
+            raise ValueError("flat_mask must have shape (T, nnz)")
+        _require_bool("flat_mask", flat_mask)
+        eligible = flat_mask
+    if eligible.size == 0:
+        return pick
+
+    # One running sum over the row-major (T, nnz) eligibility treats the
+    # batch as a single tiled CSR of T*n rows: replica t's row u spans
+    # flat positions t*nnz + indptr[u] .. t*nnz + indptr[u+1].
+    csum = np.cumsum(eligible.reshape(T * nnz), dtype=np.int64)
+    rep_off = (np.arange(T, dtype=np.int64) * nnz)[:, None]
+    starts = (indptr[:-1][None, :] + rep_off).reshape(T * n)
+    ends = (indptr[1:][None, :] + rep_off).reshape(T * n)
+    cnt_start = np.where(starts > 0, csum[starts - 1], 0)
+    cnt_end = np.where(ends > 0, csum[ends - 1], 0)
+    rows = np.flatnonzero(active.reshape(T * n) & (cnt_end > cnt_start))
+    if rows.size == 0:
+        return pick
+    j = rng.integers(0, (cnt_end - cnt_start)[rows])
+    target_rank = cnt_start[rows] + j + 1
+    flat_pos = np.searchsorted(csum, target_rank, side="left")
+    pick.reshape(T * n)[rows] = indices[flat_pos % nnz]
+    return pick
+
+
+def batched_uniform_accept(
+    rep: np.ndarray,
+    senders: np.ndarray,
+    targets: np.ndarray,
+    T: int,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Uniform acceptance of one incoming proposal per (replica, receiver).
+
+    Proposals across all replicas arrive as parallel flat arrays
+    (``senders[i]`` proposed to ``targets[i]`` inside replica ``rep[i]``);
+    a single stable sort on the combined ``(replica, target)`` key groups
+    every replica's arrivals at once — equivalent to ``T`` independent
+    :func:`segmented_uniform_accept` calls, at one dispatch cost.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(T, n)`` with ``accepted[t, v]`` the sender whose proposal ``v``
+        accepted in replica ``t``, or ``-1``.
+    """
+    rep = np.asarray(rep, dtype=np.int64)
+    senders = np.asarray(senders, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if not (rep.shape == senders.shape == targets.shape):
+        raise ValueError("rep, senders, and targets must have equal shape")
+    if rep.size and (targets.min() < 0 or targets.max() >= n):
+        raise ValueError("target out of range")
+    if rep.size and (rep.min() < 0 or rep.max() >= T):
+        raise ValueError("replica id out of range")
+    flat = segmented_uniform_accept(senders, rep * n + targets, T * n, rng)
+    return flat.reshape(T, n)
+
+
+def stack_csr(
+    csrs: Sequence[tuple[np.ndarray, np.ndarray]], n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Block-diagonal CSR of ``T`` replica topologies on ``n`` vertices each.
+
+    Replica ``t``'s vertex ``v`` becomes global vertex ``t*n + v``; no
+    edges cross replicas.  The plain segmented kernels applied to the
+    stacked CSR then batch a round over all replicas even when their
+    topologies differ (dynamic/adversarial graphs).
+    """
+    T = len(csrs)
+    if T == 0:
+        raise ValueError("need at least one replica CSR")
+    nnz_off = np.zeros(T + 1, dtype=np.int64)
+    for t, (ip, _) in enumerate(csrs):
+        if ip.shape[0] != n + 1:
+            raise ValueError("every replica CSR must cover n vertices")
+        nnz_off[t + 1] = nnz_off[t] + ip[-1]
+    indptr = np.empty(T * n + 1, dtype=np.int64)
+    indptr[0] = 0
+    indices = np.empty(nnz_off[-1], dtype=np.int64)
+    for t, (ip, ind) in enumerate(csrs):
+        indptr[t * n + 1 : (t + 1) * n + 1] = ip[1:] + nnz_off[t]
+        indices[nnz_off[t] : nnz_off[t + 1]] = ind + t * n
+    return indptr, indices

@@ -1,0 +1,259 @@
+"""Cross-validation: batched engine vs single-replica vectorized engine.
+
+The batched engine runs T replicas as one (T, n) computation; its round
+randomness comes from a batch-wide stream, so it cannot be compared
+trace-for-trace with T separate ``VectorizedEngine`` runs.  Like the
+reference-vs-vectorized suite, we compare *distributions* of
+rounds-to-stabilize over the same trial-seed sequence: a semantic
+divergence (acceptance rule, convergence masking, stacked-CSR indexing)
+shifts these distributions by integer factors, far outside the tolerance
+band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bit_convergence import (
+    BitConvergenceBatched,
+    BitConvergenceConfig,
+    BitConvergenceVectorized,
+)
+from repro.algorithms.blind_gossip import BlindGossipBatched, BlindGossipVectorized
+from repro.algorithms.ppush import PPushBatched, PPushVectorized
+from repro.algorithms.push_pull import PushPullBatched, PushPullVectorized
+from repro.core.batched import BatchedVectorizedEngine
+from repro.core.vectorized import VectorizedEngine
+from repro.graphs import families
+from repro.graphs.dynamic import PeriodicRelabelDynamicGraph, StaticDynamicGraph
+from repro.harness.runner import run_trials, run_trials_batched, trial_seeds_for
+
+TRIALS = 24
+MAX_ROUNDS = 200_000
+
+
+def median_ratio(a, b):
+    return float(np.median(a)) / max(float(np.median(b)), 1e-9)
+
+
+def keys_for(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).permutation(n).astype(np.int64)
+
+
+class TestBlindGossipBatchedEquivalence:
+    @pytest.mark.parametrize(
+        "graph",
+        [families.clique(16), families.double_star(6), families.random_regular(32, 4, seed=0)],
+        ids=["clique", "double_star", "random_regular"],
+    )
+    def test_static_round_distributions_match(self, graph):
+        keys = keys_for(graph.n)
+        dg = StaticDynamicGraph(graph)
+
+        def build_b(seeds):
+            return dg, BlindGossipBatched(keys)
+
+        batched = run_trials_batched(
+            build_b, trials=TRIALS, max_rounds=MAX_ROUNDS, seed=7
+        )
+        single = run_trials(
+            lambda ts: VectorizedEngine(dg, BlindGossipVectorized(keys), seed=ts),
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            seed=7,
+        )
+        assert all(o.stabilized for o in batched)
+        assert all(o.stabilized for o in single)
+        # Identical trial-seed sequences, comparable distributions.
+        assert [o.seed for o in batched] == [o.seed for o in single]
+        ratio = median_ratio(
+            [o.rounds for o in batched], [o.rounds for o in single]
+        )
+        assert 0.5 < ratio < 2.0
+
+    def test_churn_stacked_path_matches(self):
+        base = families.double_star(6)
+        keys = keys_for(base.n)
+
+        def build_b(seeds):
+            dgs = [PeriodicRelabelDynamicGraph(base, 1, seed=int(ts)) for ts in seeds]
+            return dgs, BlindGossipBatched(keys)
+
+        batched = run_trials_batched(
+            build_b, trials=TRIALS, max_rounds=MAX_ROUNDS, seed=3
+        )
+        single = run_trials(
+            lambda ts: VectorizedEngine(
+                PeriodicRelabelDynamicGraph(base, 1, seed=ts),
+                BlindGossipVectorized(keys),
+                seed=ts,
+            ),
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            seed=3,
+        )
+        assert all(o.stabilized for o in batched)
+        ratio = median_ratio(
+            [o.rounds for o in batched], [o.rounds for o in single]
+        )
+        assert 0.5 < ratio < 2.0
+
+
+class TestPPushBatchedEquivalence:
+    def test_round_distributions_match(self):
+        graph = families.star(24)
+        dg = StaticDynamicGraph(graph)
+        src = np.array([0])
+
+        batched = run_trials_batched(
+            lambda seeds: (dg, PPushBatched(src)),
+            trials=TRIALS,
+            max_rounds=100_000,
+            seed=1,
+        )
+        single = run_trials(
+            lambda ts: VectorizedEngine(dg, PPushVectorized(src), seed=ts),
+            trials=TRIALS,
+            max_rounds=100_000,
+            seed=1,
+        )
+        assert all(o.stabilized for o in batched)
+        # PPUSH on a star is nearly deterministic (one leaf per round).
+        ratio = median_ratio(
+            [o.rounds for o in batched], [o.rounds for o in single]
+        )
+        assert 0.7 < ratio < 1.5
+
+
+class TestPushPullBatchedEquivalence:
+    def test_round_distributions_match(self):
+        graph = families.double_star(6)
+        dg = StaticDynamicGraph(graph)
+        src = np.array([2])
+
+        batched = run_trials_batched(
+            lambda seeds: (dg, PushPullBatched(src)),
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            seed=2,
+        )
+        single = run_trials(
+            lambda ts: VectorizedEngine(dg, PushPullVectorized(src), seed=ts),
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            seed=2,
+        )
+        assert all(o.stabilized for o in batched)
+        ratio = median_ratio(
+            [o.rounds for o in batched], [o.rounds for o in single]
+        )
+        assert 0.5 < ratio < 2.0
+
+
+class TestBitConvergenceBatchedEquivalence:
+    def test_round_distributions_match(self):
+        graph = families.random_regular(16, 4, seed=0)
+        dg = StaticDynamicGraph(graph)
+        cfg = BitConvergenceConfig(n_upper=16, delta_bound=4, beta=1.0)
+        keys = keys_for(graph.n)
+
+        batched = run_trials_batched(
+            lambda seeds: (
+                dg,
+                BitConvergenceBatched(keys, cfg, unique_tags=True),
+            ),
+            trials=TRIALS,
+            max_rounds=300_000,
+            seed=5,
+        )
+        single = run_trials(
+            lambda ts: VectorizedEngine(
+                dg,
+                BitConvergenceVectorized(keys, cfg, tag_seed=ts, unique_tags=True),
+                seed=ts,
+            ),
+            trials=TRIALS,
+            max_rounds=300_000,
+            seed=5,
+        )
+        assert all(o.stabilized for o in batched)
+        ratio = median_ratio(
+            [o.rounds for o in batched], [o.rounds for o in single]
+        )
+        assert 0.4 < ratio < 2.5
+
+    def test_initial_tags_match_single_engine(self):
+        """Replica t's ID tags are bit-identical to a single engine seeded with trial seed t."""
+        from repro.algorithms.bit_convergence import draw_id_tags
+
+        cfg = BitConvergenceConfig(n_upper=16, delta_bound=4, beta=1.0)
+        keys = keys_for(16)
+        seeds = trial_seeds_for(5, 8)
+        algo = BitConvergenceBatched(keys, cfg, unique_tags=True)
+        state = algo.init_state(16, np.asarray(seeds))
+        for t, ts in enumerate(seeds):
+            expected = draw_id_tags(16, cfg, ts, unique=True)
+            assert np.array_equal(state.ctag[t], expected)
+
+
+class TestBatchedEngineBehavior:
+    def test_deterministic_given_seed(self):
+        graph = families.random_regular(32, 4, seed=0)
+        keys = keys_for(graph.n)
+
+        def once():
+            return run_trials_batched(
+                lambda seeds: (StaticDynamicGraph(graph), BlindGossipBatched(keys)),
+                trials=12,
+                max_rounds=50_000,
+                seed=9,
+            )
+
+        a, b = once(), once()
+        assert [(o.seed, o.rounds, o.stabilized) for o in a] == [
+            (o.seed, o.rounds, o.stabilized) for o in b
+        ]
+
+    def test_convergence_masking_freezes_finished_replicas(self):
+        """After a replica converges, its state never changes again."""
+        graph = families.clique(12)
+        keys = keys_for(graph.n)
+        seeds = trial_seeds_for(0, 8)
+        algo = BlindGossipBatched(keys)
+        eng = BatchedVectorizedEngine(
+            StaticDynamicGraph(graph), algo, seeds=seeds
+        )
+        frozen: dict[int, np.ndarray] = {}
+        for r in range(1, 2000):
+            eng.step(r)
+            conv = algo.converged(eng.state)
+            for t in np.flatnonzero(conv & eng.live):
+                frozen[int(t)] = eng.state.best[t].copy()
+            eng.live &= ~conv
+            for t, snap in frozen.items():
+                assert np.array_equal(eng.state.best[t], snap)
+            if not eng.live.any():
+                break
+        assert not eng.live.any()
+
+    def test_outcomes_align_with_trial_seed_scheme(self):
+        graph = families.clique(10)
+        keys = keys_for(graph.n)
+        outs = run_trials_batched(
+            lambda seeds: (StaticDynamicGraph(graph), BlindGossipBatched(keys)),
+            trials=6,
+            max_rounds=10_000,
+            seed=4,
+        )
+        assert [o.seed for o in outs] == trial_seeds_for(4, 6)
+
+    def test_rejects_mismatched_graph_count(self):
+        graph = families.clique(8)
+        keys = keys_for(graph.n)
+        with pytest.raises(ValueError):
+            BatchedVectorizedEngine(
+                [StaticDynamicGraph(graph)],
+                BlindGossipBatched(keys),
+                seeds=[1, 2, 3],
+            )

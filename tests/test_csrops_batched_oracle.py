@@ -1,0 +1,216 @@
+"""Oracle tests: batched CSR kernels against the unbatched kernels.
+
+The batched kernels must have, in every replica, exactly the semantics of
+the corresponding unbatched kernel applied to that replica's slice.
+Hypothesis drives both over random CSR structures with per-replica masks,
+comparing supports exactly (which outcomes are possible per row per
+replica); ``stack_csr`` is checked structurally against its definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.csrops import (
+    batched_random_pick,
+    batched_uniform_accept,
+    build_csr,
+    segmented_uniform_accept,
+    stack_csr,
+)
+from tests.test_csrops_oracle import reference_pick_support
+
+
+@st.composite
+def batched_csr_cases(draw):
+    n = draw(st.integers(2, 8))
+    T = draw(st.integers(1, 4))
+    pool = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pool), unique=True, max_size=len(pool)))
+    indptr, indices = build_csr(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    rows = st.lists(st.booleans(), min_size=n, max_size=n)
+    active = np.asarray(
+        draw(st.lists(rows, min_size=T, max_size=T)), dtype=bool
+    )
+    nmask = draw(
+        st.one_of(
+            st.none(),
+            st.lists(rows, min_size=T, max_size=T).map(
+                lambda m: np.asarray(m, dtype=bool)
+            ),
+        )
+    )
+    use_flat = draw(st.booleans())
+    fmask = None
+    if use_flat and indices.size:
+        ent = st.lists(
+            st.booleans(), min_size=indices.size, max_size=indices.size
+        )
+        fmask = np.asarray(
+            draw(st.lists(ent, min_size=T, max_size=T)), dtype=bool
+        )
+    return indptr, indices, active, nmask, fmask
+
+
+class TestBatchedPickAgainstUnbatched:
+    @given(batched_csr_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_per_replica_support_matches_unbatched(self, case, seed):
+        indptr, indices, active, nmask, fmask = case
+        rng = np.random.default_rng(seed)
+        T = active.shape[0]
+        supports = [
+            reference_pick_support(
+                indptr,
+                indices,
+                active[t],
+                None if nmask is None else nmask[t],
+                None if fmask is None else fmask[t],
+            )
+            for t in range(T)
+        ]
+        for _ in range(3):
+            pick = batched_random_pick(
+                indptr, indices, rng, active, neighbor_mask=nmask, flat_mask=fmask
+            )
+            assert pick.shape == active.shape
+            for t in range(T):
+                for u, p in enumerate(pick[t]):
+                    assert int(p) in supports[t][u], (t, u, int(p), supports[t][u])
+
+    @given(batched_csr_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_every_support_element_reachable(self, case, seed):
+        indptr, indices, active, nmask, fmask = case
+        rng = np.random.default_rng(seed)
+        T, n = active.shape
+        supports = [
+            reference_pick_support(
+                indptr,
+                indices,
+                active[t],
+                None if nmask is None else nmask[t],
+                None if fmask is None else fmask[t],
+            )
+            for t in range(T)
+        ]
+        seen = [[set() for _ in range(n)] for _ in range(T)]
+        # Max degree 7; 200 draws make a missed option vanishingly unlikely.
+        for _ in range(200):
+            pick = batched_random_pick(
+                indptr, indices, rng, active, neighbor_mask=nmask, flat_mask=fmask
+            )
+            for t in range(T):
+                for u, p in enumerate(pick[t]):
+                    seen[t][u].add(int(p))
+        for t in range(T):
+            for u in range(n):
+                assert seen[t][u] == supports[t][u]
+
+    def test_rejects_non_boolean_masks(self):
+        indptr, indices = build_csr(3, np.array([[0, 1], [1, 2]]))
+        rng = np.random.default_rng(0)
+        active = np.ones((2, 3), dtype=bool)
+        with pytest.raises(TypeError):
+            batched_random_pick(
+                indptr, indices, rng, active.astype(np.int64)
+            )
+        with pytest.raises(TypeError):
+            batched_random_pick(
+                indptr,
+                indices,
+                rng,
+                active,
+                neighbor_mask=np.ones((2, 3), dtype=np.int64),
+            )
+
+
+class TestBatchedAcceptAgainstUnbatched:
+    @given(
+        st.integers(1, 4),
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 5), st.integers(0, 5)),
+            max_size=24,
+        ).filter(lambda ps: all(s != t for _, s, t in ps)),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_accepted_winner_proposed_in_that_replica(self, T, proposals, seed):
+        n = 6
+        proposals = [(r % T, s, t) for r, s, t in proposals]
+        rep = np.array([r for r, _, _ in proposals], dtype=np.int64)
+        senders = np.array([s for _, s, _ in proposals], dtype=np.int64)
+        targets = np.array([t for _, _, t in proposals], dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        accepted = batched_uniform_accept(rep, senders, targets, T, n, rng)
+        assert accepted.shape == (T, n)
+        proposal_set = set(zip(rep.tolist(), senders.tolist(), targets.tolist()))
+        targeted = set(zip(rep.tolist(), targets.tolist()))
+        for r in range(T):
+            for t in range(n):
+                if (r, t) in targeted:
+                    assert accepted[r, t] >= 0
+                    assert (r, int(accepted[r, t]), t) in proposal_set
+                else:
+                    assert accepted[r, t] == -1
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_unbatched_on_single_replica(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = 12, 6
+        senders = rng.integers(0, n, size=m)
+        targets = (senders + 1 + rng.integers(0, n - 1, size=m)) % n
+        rep = np.zeros(m, dtype=np.int64)
+        a = batched_uniform_accept(
+            rep, senders, targets, 1, n, np.random.default_rng(seed)
+        )
+        b = segmented_uniform_accept(
+            senders, targets, n, np.random.default_rng(seed)
+        )
+        assert np.array_equal(a[0], b)
+
+    def test_validates_ranges(self):
+        rng = np.random.default_rng(0)
+        ok = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError):
+            batched_uniform_accept(np.array([2]), ok, np.array([1]), 2, 3, rng)
+        with pytest.raises(ValueError):
+            batched_uniform_accept(ok, ok, np.array([3]), 2, 3, rng)
+        with pytest.raises(ValueError):
+            batched_uniform_accept(ok, ok, np.array([1, 2]), 2, 3, rng)
+
+
+class TestStackCsr:
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(
+                    lambda e: e[0] != e[1]
+                ),
+                unique=True,
+                max_size=10,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_block_diagonal_structure(self, edge_lists):
+        n = 6
+        csrs = []
+        for edges in edge_lists:
+            arr = np.asarray(sorted(set(map(tuple, map(sorted, edges)))), dtype=np.int64)
+            csrs.append(build_csr(n, arr.reshape(-1, 2)))
+        indptr, indices = stack_csr(csrs, n)
+        T = len(csrs)
+        assert indptr.shape == (T * n + 1,)
+        for t, (ip, ind) in enumerate(csrs):
+            for u in range(n):
+                lo, hi = indptr[t * n + u], indptr[t * n + u + 1]
+                block = indices[lo:hi] - t * n
+                assert np.array_equal(block, ind[ip[u] : ip[u + 1]])
+                # Every stacked neighbor stays inside its replica's block.
+                assert ((indices[lo:hi] >= t * n) & (indices[lo:hi] < (t + 1) * n)).all()

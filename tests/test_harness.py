@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.core.trace import RunResult
-from repro.harness.runner import TrialOutcome, run_trials, trial_summary
+from repro.harness.runner import (
+    PROCESSES_ENV,
+    TrialOutcome,
+    default_processes,
+    run_trials,
+    trial_seeds_for,
+    trial_summary,
+)
 from repro.harness.sweep import geometric_range, grid
 from repro.harness.tables import Table, format_cell
 
@@ -81,6 +88,49 @@ class TestParallelRunner:
             _module_level_engine, trials=1, max_rounds=100, seed=0, processes=4
         )
         assert len(out) == 1
+
+    def test_more_workers_than_trials(self):
+        # Chunking must not produce empty chunks or drop/duplicate trials.
+        out = run_trials(
+            _module_level_engine, trials=3, max_rounds=100, seed=5, processes=8
+        )
+        assert [o.seed for o in out] == trial_seeds_for(5, 3)
+
+    def test_seed_order_preserved_across_chunks(self):
+        out = run_trials(
+            _module_level_engine, trials=10, max_rounds=100, seed=7, processes=3
+        )
+        assert [o.seed for o in out] == trial_seeds_for(7, 10)
+
+    def test_env_default_used(self, monkeypatch):
+        monkeypatch.setenv(PROCESSES_ENV, "2")
+        assert default_processes() == 2
+        env = run_trials(_module_level_engine, trials=6, max_rounds=100, seed=3)
+        serial = run_trials(
+            _module_level_engine, trials=6, max_rounds=100, seed=3, processes=1
+        )
+        assert env == serial
+
+    def test_env_default_unpicklable_builder_falls_back_serial(self, monkeypatch):
+        monkeypatch.setenv(PROCESSES_ENV, "2")
+        with pytest.warns(UserWarning, match="running serially"):
+            out = run_trials(lambda s: FakeEngine(s), trials=4, max_rounds=100, seed=3)
+        assert [o.seed for o in out] == trial_seeds_for(3, 4)
+
+    def test_explicit_processes_unpicklable_builder_errors(self):
+        with pytest.raises(ValueError, match="picklable"):
+            run_trials(
+                lambda s: FakeEngine(s), trials=4, max_rounds=100, seed=3, processes=2
+            )
+
+    def test_env_default_validation(self, monkeypatch):
+        monkeypatch.setenv(PROCESSES_ENV, "lots")
+        with pytest.raises(ValueError):
+            default_processes()
+        monkeypatch.setenv(PROCESSES_ENV, "")
+        assert default_processes() is None
+        monkeypatch.setenv(PROCESSES_ENV, "1")
+        assert default_processes() is None
 
 
 class TestTable:
