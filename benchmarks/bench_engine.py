@@ -170,3 +170,196 @@ def test_batched_random_pick(benchmark):
     active = rng.random((REPLICAS, 1024)) < 0.5
 
     benchmark(lambda: batched_random_pick(g.indptr, g.indices, rng, active))
+
+
+# ---------------------------------------------------------------------------
+# Churn tier: static vs permutation-native vs stacked, with asserted targets
+# ---------------------------------------------------------------------------
+#
+# These tests time with perf_counter instead of the ``benchmark`` fixture
+# because they *assert* cross-configuration ratios (one fixture call cannot
+# compare two workloads) and they must run under plain pytest in CI (the
+# ``--benchmark-only`` pass skips them).  Run them with::
+#
+#     pytest benchmarks/bench_engine.py -k churn
+#
+# Passing runs append one trajectory record to ``BENCH_engine.json`` at the
+# repo root; ``benchmarks/check_engine_regression.py`` gates CI on the
+# dimensionless ratios in that record staying within 30% of the committed
+# baseline.
+
+import json
+import subprocess
+import time
+from datetime import date
+from pathlib import Path
+
+from repro.graphs.dynamic import PeriodicRelabelDynamicGraph
+
+CHURN_N_LEAVES = 15  # double star: n = 32
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Ratio targets asserted below (and re-checked by the regression gate).
+PERMUTED_OVER_STATIC_MAX = 3.0
+CHURN_TRIAL_SPEEDUP_MIN = 10.0
+
+_measurements: dict[str, float] = {}
+
+
+def _churn_setup():
+    base = families.double_star(CHURN_N_LEAVES)
+    keys = uid_keys_random(base.n, 0)
+    return base, keys
+
+
+def _ms_per_round(make_engine, rounds: int = 300, repeats: int = 5) -> float:
+    """Median-of-repeats per-round wall time of a fresh engine, in ms."""
+    samples = []
+    for _ in range(repeats):
+        eng = make_engine()
+        eng.step(1)  # one warm-up round: caches, first-epoch setup
+        t0 = time.perf_counter()
+        for r in range(2, rounds + 2):
+            eng.step(r)
+        samples.append((time.perf_counter() - t0) / rounds * 1000.0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _timed(fn, repeats: int = 3) -> float:
+    """Median-of-repeats wall time of ``fn()``, in seconds."""
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_churn_round_cost_tiers():
+    """Permutation-native churn rounds cost ≤3× static shared-CSR rounds.
+
+    The three tiers run the same blind-gossip workload (double star n=32,
+    T=32): one shared static CSR; per-replica τ=1 relabelings of a shared
+    base (permutation-native fast path); the same relabelings over
+    *distinct* base objects (stacked block-diagonal CSR fallback).
+    """
+    base, keys = _churn_setup()
+    seeds = trial_seeds_for(0, REPLICAS)
+
+    static_ms = _ms_per_round(
+        lambda: BatchedVectorizedEngine(
+            StaticDynamicGraph(base), BlindGossipBatched(keys), seeds=seeds
+        )
+    )
+    permuted_ms = _ms_per_round(
+        lambda: BatchedVectorizedEngine(
+            [PeriodicRelabelDynamicGraph(base, 1, seed=int(ts)) for ts in seeds],
+            BlindGossipBatched(keys),
+            seeds=seeds,
+        )
+    )
+    stacked_ms = _ms_per_round(
+        lambda: BatchedVectorizedEngine(
+            [
+                PeriodicRelabelDynamicGraph(
+                    families.double_star(CHURN_N_LEAVES), 1, seed=int(ts)
+                )
+                for ts in seeds
+            ],
+            BlindGossipBatched(keys),
+            seeds=seeds,
+        )
+    )
+
+    _measurements.update(
+        static_ms_per_round=static_ms,
+        permuted_ms_per_round=permuted_ms,
+        stacked_ms_per_round=stacked_ms,
+        permuted_over_static=permuted_ms / static_ms,
+    )
+    assert permuted_ms / static_ms <= PERMUTED_OVER_STATIC_MAX, (
+        f"permutation-native churn round {permuted_ms:.3f} ms is "
+        f"{permuted_ms / static_ms:.1f}x the static round {static_ms:.3f} ms "
+        f"(target <= {PERMUTED_OVER_STATIC_MAX}x)"
+    )
+    # The fast path must also clearly beat the stacked fallback it replaces.
+    assert permuted_ms < stacked_ms
+
+
+def test_churn_trial_throughput():
+    """Batched τ=1 churn sweeps run ≥10× faster than the per-trial loop."""
+    base, keys = _churn_setup()
+
+    def single():
+        out = run_trials(
+            lambda ts: VectorizedEngine(
+                PeriodicRelabelDynamicGraph(base, 1, seed=ts),
+                BlindGossipVectorized(keys),
+                seed=ts,
+            ),
+            trials=REPLICAS,
+            max_rounds=100_000,
+            seed=0,
+        )
+        assert all(o.stabilized for o in out)
+
+    def batched():
+        out = run_trials_batched(
+            lambda seeds: (
+                [PeriodicRelabelDynamicGraph(base, 1, seed=int(ts)) for ts in seeds],
+                BlindGossipBatched(keys),
+            ),
+            trials=REPLICAS,
+            max_rounds=100_000,
+            seed=0,
+        )
+        assert all(o.stabilized for o in out)
+
+    single_s = _timed(single)
+    batched_s = _timed(batched)
+    speedup = single_s / batched_s
+    _measurements.update(
+        churn_single_trials_s=single_s,
+        churn_batched_trials_s=batched_s,
+        churn_trial_speedup=speedup,
+    )
+    assert speedup >= CHURN_TRIAL_SPEEDUP_MIN, (
+        f"batched churn sweep is only {speedup:.1f}x the per-trial loop "
+        f"(target >= {CHURN_TRIAL_SPEEDUP_MIN}x): "
+        f"{single_s:.2f}s vs {batched_s:.2f}s"
+    )
+
+
+def test_churn_trajectory_record():
+    """Append this run's measurements to the committed trajectory file.
+
+    Runs last of the churn tests (definition order); skips silently when
+    the measurements are absent (e.g. a ``-k`` selection ran only one).
+    """
+    import pytest
+
+    required = {"permuted_over_static", "churn_trial_speedup"}
+    if not required <= _measurements.keys():
+        pytest.skip("round-cost and throughput churn benches did not both run")
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=TRAJECTORY_PATH.parent,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+    record = {
+        "date": date.today().isoformat(),
+        "commit": commit,
+        **{k: round(v, 4) for k, v in _measurements.items()},
+    }
+    data = {"records": []}
+    if TRAJECTORY_PATH.exists():
+        data = json.loads(TRAJECTORY_PATH.read_text())
+    data["records"].append(record)
+    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2) + "\n")

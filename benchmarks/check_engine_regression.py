@@ -1,0 +1,77 @@
+"""CI gate: fail on >30% engine-throughput regression vs the committed baseline.
+
+``benchmarks/bench_engine.py -k churn`` appends one record per run to
+``BENCH_engine.json`` at the repo root.  This script compares the newest
+record (the current run) against the newest *committed* record (the one
+before it) on the two dimensionless ratios — machine speed cancels out of
+both, so the gate is meaningful across runner hardware:
+
+- ``churn_trial_speedup``   (batched sweep over per-trial loop; higher is
+  better) must not drop below 70% of the baseline;
+- ``permuted_over_static``  (fast-path round cost over static round cost;
+  lower is better) must not grow above 130% of the baseline.
+
+Usage::
+
+    python benchmarks/check_engine_regression.py [BENCH_engine.json]
+
+Exit status 0 on pass (or when no baseline exists yet), 1 on regression.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Allowed relative slack before a ratio counts as a regression.
+TOLERANCE = 0.30
+
+
+def check(path: Path) -> int:
+    data = json.loads(path.read_text())
+    records = data.get("records", [])
+    if not records:
+        print(f"{path}: no records; nothing to check")
+        return 1
+    current = records[-1]
+    if len(records) == 1:
+        print(f"{path}: single record (no committed baseline); pass")
+        return 0
+    baseline = records[-2]
+    print(
+        f"baseline {baseline['commit']} ({baseline['date']}) vs "
+        f"current {current['commit']} ({current['date']})"
+    )
+    failures = []
+    for key, higher_is_better in (
+        ("churn_trial_speedup", True),
+        ("permuted_over_static", False),
+    ):
+        base, cur = baseline.get(key), current.get(key)
+        if base is None or cur is None:
+            failures.append(f"{key}: missing from record")
+            continue
+        if higher_is_better:
+            limit = base * (1 - TOLERANCE)
+            ok = cur >= limit
+            direction = ">="
+        else:
+            limit = base * (1 + TOLERANCE)
+            ok = cur <= limit
+            direction = "<="
+        status = "ok" if ok else "REGRESSION"
+        print(f"  {key}: {cur:.3f} vs baseline {base:.3f} (need {direction} {limit:.3f}) {status}")
+        if not ok:
+            failures.append(f"{key}: {cur:.3f} vs baseline {base:.3f}")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    default = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else default
+    sys.exit(check(target))

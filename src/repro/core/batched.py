@@ -13,10 +13,18 @@ axis ``(T, n)``, and each round is a single batch of kernel calls:
 
 1. the algorithm produces per-replica tags ``(T, n)`` and a sender mask;
 2. :func:`~repro.util.csrops.batched_random_pick` chooses every sender's
-   proposal target in every replica at once (shared CSR topology), or
+   proposal target in every replica at once (shared CSR topology);
+   replicas under *isomorphic churn* (per-replica relabelings of one
+   shared base — :class:`~repro.graphs.dynamic.PermutedDynamicGraph`
+   lists or a :class:`~repro.graphs.dynamic.BatchedPermutedDynamicGraph`)
+   instead route through
+   :func:`~repro.util.csrops.batched_permuted_pick`, which picks against
+   the one base CSR through per-replica ``(T, n)`` permutations — no
+   relabeled graph or stacked CSR is ever built; only genuinely
+   structure-changing replicas fall back to
    :func:`~repro.util.csrops.segmented_random_pick` over a
-   :func:`~repro.util.csrops.stack_csr` block-diagonal CSR when replicas
-   have distinct topologies (dynamic/adversarial graphs);
+   :func:`~repro.util.csrops.stack_csr` block-diagonal CSR, rebuilt
+   incrementally (only the segments whose topology changed);
 3. proposals to nodes that themselves proposed are dropped per replica;
 4. :func:`~repro.util.csrops.batched_uniform_accept` resolves all
    replicas' acceptances with one sort;
@@ -45,11 +53,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.trace import BatchedRunResult
-from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.dynamic import (
+    BatchedPermutedDynamicGraph,
+    DynamicGraph,
+    PermutedDynamicGraph,
+    epoch_of_round,
+)
 from repro.graphs.static import Graph
 from repro.util.csrops import (
+    batched_permuted_pick,
     batched_random_pick,
     csr_degrees,
+    invert_permutations,
     segmented_random_pick,
     segmented_uniform_accept_pairs,
     stack_csr,
@@ -156,11 +171,15 @@ class BatchedVectorizedEngine:
     Parameters
     ----------
     dynamic_graph
-        Either one :class:`~repro.graphs.dynamic.DynamicGraph` shared by
-        every replica (static-topology experiments: one CSR serves the
-        whole batch) or a sequence of ``T`` per-replica dynamic graphs
-        (dynamic/adversarial experiments: each round's topologies are
-        stacked into a block-diagonal CSR).
+        One :class:`~repro.graphs.dynamic.DynamicGraph` shared by every
+        replica (static-topology experiments: one CSR serves the whole
+        batch), a sequence of ``T`` per-replica dynamic graphs, or one
+        :class:`~repro.graphs.dynamic.BatchedPermutedDynamicGraph`
+        (e.g. the batched packing adversary).  A sequence whose members
+        are all :class:`~repro.graphs.dynamic.PermutedDynamicGraph`
+        instances over the *same base object* with equal ``τ`` takes the
+        permutation-native fast path; other sequences are stacked into a
+        block-diagonal CSR per round.
     algorithm
         The batched algorithm kernel.
     seeds
@@ -186,15 +205,29 @@ class BatchedVectorizedEngine:
             raise ValueError("seeds must be a non-empty 1-D sequence")
         self.replicas = int(self.seeds.size)
 
-        if isinstance(dynamic_graph, DynamicGraph):
+        self.bdg: BatchedPermutedDynamicGraph | None = None
+        self.dg: DynamicGraph | None = None
+        self.dgs: list[DynamicGraph] | None = None
+        #: Shared base graph of the permutation-native churn fast path
+        #: (set for both the batched object and the permuted-list forms).
+        self._perm_base: Graph | None = None
+        if isinstance(dynamic_graph, BatchedPermutedDynamicGraph):
+            if dynamic_graph.replicas != self.replicas:
+                raise ValueError(
+                    f"batched dynamic graph covers {dynamic_graph.replicas} "
+                    f"replicas but {self.replicas} seeds were given"
+                )
+            self.bdg = dynamic_graph
+            self._perm_base = dynamic_graph.base
+            self.n = dynamic_graph.n
+        elif isinstance(dynamic_graph, DynamicGraph):
             if isinstance(dynamic_graph, AdaptiveDynamicGraph):
                 raise ValueError(
                     "an adaptive dynamic graph cannot be shared across "
                     "replicas (observations differ per replica); pass one "
                     "adversary instance per replica"
                 )
-            self.dg: DynamicGraph | None = dynamic_graph
-            self.dgs: list[DynamicGraph] | None = None
+            self.dg = dynamic_graph
             self.n = dynamic_graph.n
         else:
             dgs = list(dynamic_graph)
@@ -205,9 +238,15 @@ class BatchedVectorizedEngine:
                 )
             if len({dg.n for dg in dgs}) != 1:
                 raise ValueError("all replica graphs must share the vertex count")
-            self.dg = None
             self.dgs = dgs
             self.n = dgs[0].n
+            # Permutation-native fast path: every replica relabels the
+            # *same base object* on the same epoch schedule, so round
+            # topologies are (one shared CSR, T permutations).
+            if all(isinstance(dg, PermutedDynamicGraph) for dg in dgs) and all(
+                dg.base is dgs[0].base and dg.tau == dgs[0].tau for dg in dgs
+            ):
+                self._perm_base = dgs[0].base
 
         self.algo = algorithm
         if activation_rounds is None:
@@ -223,10 +262,21 @@ class BatchedVectorizedEngine:
         self.rounds_executed = 0
         #: Cumulative connections established per replica (2 messages each).
         self.connections_made = np.zeros(self.replicas, dtype=np.int64)
-        self._stack_key: tuple[int, ...] | None = None
+        # Stacked-CSR cache: strong refs to the graphs backing the current
+        # stack (identity comparison against *held* objects is sound even
+        # if a dynamic graph's epoch cache evicts and ids get reused).
+        self._stack_graphs: list[Graph] | None = None
         self._stack: tuple[np.ndarray, np.ndarray] | None = None
-        self._deg_key: int | None = None
+        self._stack_nnz_off: np.ndarray | None = None
+        self._deg_graph: Graph | None = None
         self._deg: np.ndarray | None = None
+        # Permutation cache for the churn fast path: current (T, n)
+        # permutations and their inverses, refreshed per epoch (list form)
+        # or when the batched object emits a new array (adaptive form).
+        self._P: np.ndarray | None = None
+        self._Pinv: np.ndarray | None = None
+        self._perm_epoch = -1
+        self._P_src: np.ndarray | None = None
         # Scratch buffer for the "a proposer cannot receive" rule; touched
         # positions are reset after each round instead of reallocating.
         self._proposed = np.zeros(self.replicas * self.n, dtype=bool)
@@ -239,24 +289,82 @@ class BatchedVectorizedEngine:
     def _stacked_csr(self, graphs: list[Graph]) -> tuple[np.ndarray, np.ndarray]:
         """Block-diagonal CSR of this round's replica topologies (cached).
 
-        The per-epoch graph caches inside the dynamic graphs keep the
-        ``Graph`` objects alive, so object identity is a sound cache key
-        for "topologies unchanged since last round".
+        The engine holds strong references to the graphs backing the
+        current stack, so ``is`` against them is a sound "unchanged since
+        last round" test (an ``id()``-only key could alias a freed graph
+        whose id was reused after a dynamic graph's cache eviction).
+        Between rounds only the replicas whose epoch actually changed are
+        rewritten — an in-place segment patch when the edge count is
+        unchanged (always true for isomorphic churn, usually true for
+        resampling within a family), a full restack only when a segment's
+        edge count changes.
         """
-        key = tuple(id(g) for g in graphs)
-        if key != self._stack_key:
-            self._stack = stack_csr([(g.indptr, g.indices) for g in graphs], self.n)
-            self._stack_key = key
-        assert self._stack is not None
+        n = self.n
+        prev = self._stack_graphs
+        if prev is not None and len(prev) == len(graphs):
+            changed = [t for t, g in enumerate(graphs) if g is not prev[t]]
+            if not changed:
+                assert self._stack is not None
+                return self._stack
+            off = self._stack_nnz_off
+            assert off is not None and self._stack is not None
+            if all(
+                graphs[t].indptr[-1] == off[t + 1] - off[t] for t in changed
+            ):
+                indptr_s, indices_s = self._stack
+                for t in changed:
+                    g = graphs[t]
+                    indices_s[off[t] : off[t + 1]] = g.indices + t * n
+                    indptr_s[t * n + 1 : (t + 1) * n + 1] = g.indptr[1:] + off[t]
+                self._stack_graphs = list(graphs)
+                return self._stack
+        self._stack = stack_csr([(g.indptr, g.indices) for g in graphs], self.n)
+        nnz_off = np.zeros(len(graphs) + 1, dtype=np.int64)
+        for t, g in enumerate(graphs):
+            nnz_off[t + 1] = nnz_off[t] + g.indptr[-1]
+        self._stack_nnz_off = nnz_off
+        self._stack_graphs = list(graphs)
         return self._stack
 
     def _degrees(self, graph: Graph) -> np.ndarray:
-        """Vertex degrees of the current shared topology (cached by identity)."""
-        if id(graph) != self._deg_key:
+        """Vertex degrees of the current shared topology (cached).
+
+        A strong reference to the graph makes the identity test immune to
+        id reuse after the dynamic graph's epoch cache evicts.
+        """
+        if graph is not self._deg_graph:
             self._deg = csr_degrees(graph.indptr)
-            self._deg_key = id(graph)
+            self._deg_graph = graph
         assert self._deg is not None
         return self._deg
+
+    def _permutations(self, r: int) -> tuple[np.ndarray, np.ndarray]:
+        """Current ``(T, n)`` relabel permutations and their inverses.
+
+        Refreshed once per epoch on the permuted-list path (``T`` cheap
+        ``permutation_at`` calls), or when the batched dynamic graph hands
+        back a new array object (adaptive adversaries emit one only at
+        epoch boundaries with a changed observation).
+        """
+        T, n = self.replicas, self.n
+        if self.bdg is not None:
+            P = self.bdg.permutations_at(r)
+            if P is not self._P_src:
+                self._P_src = P
+                self._P = np.ascontiguousarray(P, dtype=np.int64)
+                self._Pinv = invert_permutations(self._P)
+        else:
+            assert self.dgs is not None
+            e = epoch_of_round(r, self.dgs[0].tau)
+            if e != self._perm_epoch:
+                if self._P is None:
+                    self._P = np.empty((T, n), dtype=np.int64)
+                for t, dg in enumerate(self.dgs):
+                    self._P[t] = dg.permutation_at(r)
+                self._Pinv = invert_permutations(self._P)
+                self._perm_epoch = e
+        assert self._P is not None and self._Pinv is not None
+        return self._P, self._Pinv
 
     # -- single round --------------------------------------------------------
 
@@ -269,7 +377,9 @@ class BatchedVectorizedEngine:
         local_rounds = np.maximum(r - self.activation + 1, 0)
         rng = self._rng
 
-        if self.dgs is not None and any(
+        if self.bdg is not None:
+            self.bdg.observe(r, self.algo.observable(self.state))
+        elif self.dgs is not None and any(
             isinstance(dg, AdaptiveDynamicGraph) for dg in self.dgs
         ):
             obs = self.algo.observable(self.state)
@@ -298,7 +408,21 @@ class BatchedVectorizedEngine:
         # The hot path works on compact flat (replica, vertex) ids
         # (flat id = t*n + v): one flatnonzero pass over the batch instead
         # of dense (T, n) intermediates re-scanned at every stage.
-        if self.dg is not None:
+        if self._perm_base is not None:
+            # Isomorphic churn: pick through per-replica permutations
+            # against the one shared base CSR.
+            P, Pinv = self._permutations(r)
+            base = self._perm_base
+            sflat, tflat = batched_permuted_pick(
+                base.indptr,
+                base.indices,
+                rng,
+                P,
+                sender,
+                neighbor_mask=nb_mask,
+                perm_inv=Pinv,
+            )
+        elif self.dg is not None:
             graph = self.dg.graph_at(r)
             if nb_mask is None:
                 # Unmasked shared CSR: gather each sender's degree and

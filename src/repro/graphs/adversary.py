@@ -29,10 +29,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graphs.dynamic import DynamicGraph, epoch_of_round
+from repro.graphs.dynamic import (
+    BatchedPermutedDynamicGraph,
+    DynamicGraph,
+    epoch_of_round,
+)
 from repro.graphs.static import Graph
 
-__all__ = ["AdaptiveDynamicGraph", "PackingAdversary", "packing_order_for"]
+__all__ = [
+    "AdaptiveDynamicGraph",
+    "BatchedPackingAdversary",
+    "PackingAdversary",
+    "packing_order_for",
+]
 
 
 class AdaptiveDynamicGraph(DynamicGraph):
@@ -136,3 +145,75 @@ class PackingAdversary(AdaptiveDynamicGraph):
 
     def max_degree(self, horizon: int) -> int:
         return self._base.max_degree
+
+
+class BatchedPackingAdversary(BatchedPermutedDynamicGraph):
+    """The packing adversary for all ``T`` replicas of a batched run at once.
+
+    Semantically ``T`` independent :class:`PackingAdversary` instances —
+    each replica's informed nodes are packed into the prefix of the same
+    packing order — but driven by the engine's full ``(T, n)`` observation:
+    one stable argsort of the whole observation grid reproduces every
+    replica's informed-then-uninformed ordering (``False < True`` on the
+    negated mask, ties broken by ascending vertex index, exactly the
+    ``flatnonzero`` concatenation the single adversary builds), so there is
+    no per-replica Python loop anywhere in :meth:`observe`.
+
+    As a :class:`~repro.graphs.dynamic.BatchedPermutedDynamicGraph` it
+    never materializes relabeled ``Graph`` objects either: the engine picks
+    through the ``(T, n)`` permutations against the one base CSR.
+    """
+
+    def __init__(
+        self,
+        base: Graph,
+        tau: int = 1,
+        *,
+        replicas: int,
+        packing_order: np.ndarray | None = None,
+    ):
+        if tau < 1:
+            raise ValueError("tau must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if not base.is_connected():
+            raise ValueError("topology must be connected")
+        self.base = base
+        self.n = base.n
+        self.tau = tau
+        self.replicas = replicas
+        self._order = (
+            packing_order_for(base)
+            if packing_order is None
+            else np.asarray(packing_order, dtype=np.int64)
+        )
+        if sorted(self._order.tolist()) != list(range(self.n)):
+            raise ValueError("packing_order must be a permutation of 0..n-1")
+        self._perms = np.tile(np.arange(self.n, dtype=np.int64), (replicas, 1))
+        self._current_epoch = -1
+        self._last_round = 0
+
+    def observe(self, r: int, observation: np.ndarray | None) -> None:
+        if r <= self._last_round:
+            raise ValueError("adaptive adversary requires strictly forward rounds")
+        self._last_round = r
+        e = epoch_of_round(r, self.tau)
+        if e == self._current_epoch:
+            return  # mid-epoch: the topology must stay stable
+        self._current_epoch = e
+        if observation is None:
+            return
+        mask = np.asarray(observation, dtype=bool)
+        if mask.shape != (self.replicas, self.n):
+            raise ValueError("observation must be a (T, n) boolean mask")
+        # Row t of ``nodes`` is replica t's informed vertices ascending,
+        # then its uninformed vertices ascending.
+        nodes = np.argsort(~mask, axis=1, kind="stable")
+        # Node nodes[t, j] takes the structural role order[j]: the relabel
+        # permutation renames base vertex order[j] to nodes[t, j].
+        perms = np.empty_like(nodes)
+        perms[:, self._order] = nodes
+        self._perms = perms  # fresh object: signals the change to the engine
+
+    def permutations_at(self, r: int) -> np.ndarray:
+        return self._perms

@@ -30,11 +30,36 @@ __all__ = [
     "DynamicGraph",
     "StaticDynamicGraph",
     "ScheduleDynamicGraph",
+    "PermutedDynamicGraph",
+    "BatchedPermutedDynamicGraph",
     "PeriodicRelabelDynamicGraph",
     "ResampleDynamicGraph",
     "epoch_of_round",
     "first_round_of_epoch",
 ]
+
+#: Epoch caches hold at most this many entries before evicting (the
+#: newest entry is retained so the in-use epoch never has to be rebuilt).
+CACHE_LIMIT = 4096
+
+#: Target element count of one generated permutation block (block length
+#: is ``max(1, _PERM_BLOCK_ELEMENTS // n)`` epochs, ~256 KB of int64).
+_PERM_BLOCK_ELEMENTS = 32768
+
+
+def _evict_keep_newest(cache: dict, limit: int) -> None:
+    """Clear ``cache`` down to its most recently inserted entry.
+
+    Dropping everything would evict the entry the caller is still using
+    (typically the current epoch), forcing an immediate rebuild; dicts
+    preserve insertion order, so the last key is the newest.
+    """
+    if len(cache) < limit:
+        return
+    newest = next(reversed(cache))
+    kept = cache[newest]
+    cache.clear()
+    cache[newest] = kept
 
 
 def epoch_of_round(r: int, tau: float) -> int:
@@ -140,7 +165,62 @@ class ScheduleDynamicGraph(DynamicGraph):
         return self._graphs[min(e, len(self._graphs) - 1)]
 
 
-class PeriodicRelabelDynamicGraph(DynamicGraph):
+class PermutedDynamicGraph(DynamicGraph):
+    """Dynamic graphs where every round is a *relabeling* of one base graph.
+
+    Isomorphic churn never changes edge structure — only vertex labels — so
+    a round's topology is fully described by ``(base, permutation)``.  The
+    batched engine exploits this: when ``T`` replica graphs share one base
+    object, it routes picks through the per-replica permutations against
+    the single shared base CSR (see
+    :func:`~repro.util.csrops.batched_permuted_pick`) and never builds a
+    relabeled ``Graph`` or a stacked CSR at all.
+    """
+
+    #: The fixed base graph every round relabels.
+    base: Graph
+
+    @abstractmethod
+    def permutation_at(self, r: int) -> np.ndarray:
+        """Relabel permutation ``p_r`` with ``graph_at(r) == base.relabel(p_r)``.
+
+        ``p_r[u]`` is the round-``r`` label of base vertex ``u``.
+        """
+
+
+class BatchedPermutedDynamicGraph(ABC):
+    """``T`` parallel permuted views of one base graph as a single object.
+
+    The batched counterpart of handing the engine a list of ``T``
+    :class:`PermutedDynamicGraph` instances: one object produces all
+    replicas' permutations at once, so adaptive adversaries can react to
+    the engine's full ``(T, n)`` observation without a per-replica Python
+    loop.
+    """
+
+    #: The fixed base graph every replica's every round relabels.
+    base: Graph
+    #: Number of vertices.
+    n: int
+    #: Declared minimum stability between changes.
+    tau: float
+    #: Number of replicas ``T``.
+    replicas: int
+
+    def observe(self, r: int, observation: np.ndarray | None) -> None:
+        """Receive the round-``r`` ``(T, n)`` observation (default: ignore)."""
+
+    @abstractmethod
+    def permutations_at(self, r: int) -> np.ndarray:
+        """``(T, n)`` permutations; row ``t`` relabels replica ``t``'s base.
+
+        Implementations must return a *new* array object whenever the
+        permutations change (the engine caches the inverse permutations
+        keyed on array identity).
+        """
+
+
+class PeriodicRelabelDynamicGraph(PermutedDynamicGraph):
     """Adversarial isomorphic churn: relabel a base graph every ``τ`` rounds.
 
     Each epoch applies a fresh uniform permutation to the base graph's
@@ -149,6 +229,12 @@ class PeriodicRelabelDynamicGraph(DynamicGraph):
     to vertex position — the harshest oblivious churn consistent with fixed
     ``(α, Δ)``.  With ``τ = 1`` this realizes the paper's "topology can
     change arbitrarily in every round" regime.
+
+    Permutations are generated in seeded *blocks* of consecutive epochs
+    (one generator constructed per block, one Fisher–Yates shuffle per
+    row): at ``τ = 1`` a fresh permutation is needed every round, and
+    per-epoch generator construction alone would cost more than the
+    batched engine's whole pick phase.
     """
 
     def __init__(self, base: Graph, tau: int, seed: int | None = None):
@@ -156,25 +242,45 @@ class PeriodicRelabelDynamicGraph(DynamicGraph):
             raise ValueError("tau must be >= 1")
         if not base.is_connected():
             raise ValueError("topology must be connected")
+        self.base = base
         self._base = base
+        if seed is None:
+            # Draw a concrete root once so permutation blocks stay
+            # consistent even after cache eviction.
+            seed = int(make_rng(None, "relabel-root").integers(0, 2**31 - 1))
         self._seed = seed
         self.n = base.n
         self.tau = tau
         self._cache: dict[int, Graph] = {}
+        self._cache_limit = CACHE_LIMIT
+        self._block_len = max(1, _PERM_BLOCK_ELEMENTS // max(base.n, 1))
+        self._perm_blocks: dict[int, np.ndarray] = {}
+
+    def permutation_at(self, r: int) -> np.ndarray:
+        e = epoch_of_round(r, self.tau)
+        b, i = divmod(e, self._block_len)
+        block = self._perm_blocks.get(b)
+        if block is None:
+            rng = make_rng(self._seed, "relabel-epoch-block", b)
+            block = rng.permuted(
+                np.tile(np.arange(self.n, dtype=np.int64), (self._block_len, 1)),
+                axis=1,
+            )
+            _evict_keep_newest(self._perm_blocks, 8)
+            self._perm_blocks[b] = block
+        return block[i]
 
     def graph_at(self, r: int) -> Graph:
         e = epoch_of_round(r, self.tau)
         g = self._cache.get(e)
         if g is None:
-            rng = make_rng(self._seed, "relabel-epoch", e)
-            g = self._base.relabel(rng.permutation(self.n))
-            if len(self._cache) > 4096:
-                self._cache.clear()
+            g = self.base.relabel(self.permutation_at(r))
+            _evict_keep_newest(self._cache, self._cache_limit)
             self._cache[e] = g
         return g
 
     def max_degree(self, horizon: int) -> int:
-        return self._base.max_degree
+        return self.base.max_degree
 
 
 class ResampleDynamicGraph(DynamicGraph):
@@ -200,6 +306,7 @@ class ResampleDynamicGraph(DynamicGraph):
         first = self._sample(0)
         self.n = first.n
         self._cache: dict[int, Graph] = {0: first}
+        self._cache_limit = CACHE_LIMIT
 
     def _sample(self, e: int) -> Graph:
         epoch_seed = int(
@@ -217,7 +324,6 @@ class ResampleDynamicGraph(DynamicGraph):
             g = self._sample(e)
             if g.n != self.n:
                 raise ValueError("sampler changed the vertex count")
-            if len(self._cache) > 4096:
-                self._cache.clear()
+            _evict_keep_newest(self._cache, self._cache_limit)
             self._cache[e] = g
         return g

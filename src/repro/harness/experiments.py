@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.algorithms.async_bit_convergence import AsyncBitConvergenceVectorized
 from repro.algorithms.bit_convergence import (
+    BitConvergenceBatched,
     BitConvergenceConfig,
     BitConvergenceVectorized,
     draw_id_tags,
@@ -83,6 +84,21 @@ def _churn(base: Graph, tau: float, seed: int) -> DynamicGraph:
     if math.isinf(tau):
         return StaticDynamicGraph(base)
     return PeriodicRelabelDynamicGraph(base, int(tau), seed=seed)
+
+
+def _churn_batched(
+    base: Graph, tau: float, seeds: Sequence[int]
+) -> DynamicGraph | list[DynamicGraph]:
+    """Batched counterpart of :func:`_churn`.
+
+    One shared static graph for ``τ = ∞``; otherwise one relabel
+    generator per trial seed over the *shared base object*, which the
+    batched engine recognizes and runs permutation-natively (no per-round
+    graph construction or CSR stacking).
+    """
+    if math.isinf(tau):
+        return StaticDynamicGraph(base)
+    return [PeriodicRelabelDynamicGraph(base, int(tau), seed=int(ts)) for ts in seeds]
 
 
 def _median_rounds(build, *, trials: int, max_rounds: int, seed: int) -> float:
@@ -466,6 +482,7 @@ def exp_bit_convergence_tau(
     seed: int = 0,
     max_rounds: int = 400_000,
     beta: float = 1.0,
+    engine: str = "single",
 ) -> Table:
     """Bit convergence stabilization vs the stability factor τ.
 
@@ -480,8 +497,16 @@ def exp_bit_convergence_tau(
       double star with ``Δ ≈ degree`` — repacks winners behind a unit cut
       matching at every epoch boundary, so longer stability directly buys
       more PPUSH progress per epoch; this is where the τ-dependence shows.
+
+    ``engine="batched"`` runs each (τ, churn-model) cell as one batched
+    engine: the oblivious arm through the permutation-native relabel fast
+    path, the adaptive arm through a single
+    :class:`~repro.graphs.adversary.BatchedPackingAdversary` reacting to
+    the whole ``(T, n)`` observation at once.
     """
-    from repro.graphs.adversary import PackingAdversary
+    from repro.graphs.adversary import BatchedPackingAdversary, PackingAdversary
+
+    _check_engine(engine)
 
     base = families.random_regular(n, degree, seed=seed)
     star_base = families.double_star(max(2, degree - 1))
@@ -515,32 +540,61 @@ def exp_bit_convergence_tau(
         ],
     )
     for tau in taus:
-        def build_obliv(ts: int, tau=tau) -> VectorizedEngine:
-            return VectorizedEngine(
-                _churn(base, tau, ts),
-                BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
-                seed=ts,
-            )
+        if engine == "batched":
 
-        def build_adaptive(ts: int, tau=tau) -> VectorizedEngine:
-            if math.isinf(tau):
-                dg = StaticDynamicGraph(star_base)
-            else:
-                dg = PackingAdversary(star_base, tau=int(tau))
-            return VectorizedEngine(
-                dg,
-                BitConvergenceVectorized(
-                    star_keys, star_config, tag_seed=ts, unique_tags=True
-                ),
-                seed=ts,
-            )
+            def build_obliv_b(seeds, tau=tau):
+                return (
+                    _churn_batched(base, tau, seeds),
+                    BitConvergenceBatched(keys, config, unique_tags=True),
+                )
 
-        med_obliv = _median_rounds(
-            build_obliv, trials=trials, max_rounds=max_rounds, seed=seed
-        )
-        med_adapt = _median_rounds(
-            build_adaptive, trials=trials, max_rounds=max_rounds, seed=seed + 1
-        )
+            def build_adaptive_b(seeds, tau=tau):
+                if math.isinf(tau):
+                    dg = StaticDynamicGraph(star_base)
+                else:
+                    dg = BatchedPackingAdversary(
+                        star_base, tau=int(tau), replicas=len(seeds)
+                    )
+                return dg, BitConvergenceBatched(
+                    star_keys, star_config, unique_tags=True
+                )
+
+            med_obliv = _median_rounds_batched(
+                build_obliv_b, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            med_adapt = _median_rounds_batched(
+                build_adaptive_b, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
+        else:
+
+            def build_obliv(ts: int, tau=tau) -> VectorizedEngine:
+                return VectorizedEngine(
+                    _churn(base, tau, ts),
+                    BitConvergenceVectorized(
+                        keys, config, tag_seed=ts, unique_tags=True
+                    ),
+                    seed=ts,
+                )
+
+            def build_adaptive(ts: int, tau=tau) -> VectorizedEngine:
+                if math.isinf(tau):
+                    dg = StaticDynamicGraph(star_base)
+                else:
+                    dg = PackingAdversary(star_base, tau=int(tau))
+                return VectorizedEngine(
+                    dg,
+                    BitConvergenceVectorized(
+                        star_keys, star_config, tag_seed=ts, unique_tags=True
+                    ),
+                    seed=ts,
+                )
+
+            med_obliv = _median_rounds(
+                build_obliv, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            med_adapt = _median_rounds(
+                build_adaptive, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
         table.add_row(
             "inf" if math.isinf(tau) else int(tau),
             bounds.tau_hat(tau if not math.isinf(tau) else delta, delta),
@@ -564,12 +618,14 @@ def exp_gap_b0_b1(
     seed: int = 0,
     max_rounds: int = 600_000,
     beta: float = 1.0,
+    engine: str = "single",
 ) -> Table:
     """Blind gossip vs bit convergence head-to-head on the double star.
 
     The paper's headline gap: as τ grows from 1 to ``log Δ``, the advantage
     of the 1-bit algorithm grows from ``~Δ`` to ``~Δ²`` (log factors aside).
     """
+    _check_engine(engine)
     base = families.double_star(leaves)
     n, delta = base.n, base.max_degree
     config = BitConvergenceConfig(n_upper=n, delta_bound=delta, beta=beta)
@@ -587,20 +643,45 @@ def exp_gap_b0_b1(
         ],
     )
     for tau in taus:
-        def build_bg(ts: int, tau=tau) -> VectorizedEngine:
-            return VectorizedEngine(
-                _churn(base, tau, ts), BlindGossipVectorized(keys), seed=ts
-            )
+        if engine == "batched":
 
-        def build_bc(ts: int, tau=tau) -> VectorizedEngine:
-            return VectorizedEngine(
-                _churn(base, tau, ts),
-                BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
-                seed=ts,
-            )
+            def build_bg_b(seeds, tau=tau):
+                return _churn_batched(base, tau, seeds), BlindGossipBatched(keys)
 
-        bg = _median_rounds(build_bg, trials=trials, max_rounds=max_rounds, seed=seed)
-        bc = _median_rounds(build_bc, trials=trials, max_rounds=max_rounds, seed=seed + 1)
+            def build_bc_b(seeds, tau=tau):
+                return (
+                    _churn_batched(base, tau, seeds),
+                    BitConvergenceBatched(keys, config, unique_tags=True),
+                )
+
+            bg = _median_rounds_batched(
+                build_bg_b, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            bc = _median_rounds_batched(
+                build_bc_b, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
+        else:
+
+            def build_bg(ts: int, tau=tau) -> VectorizedEngine:
+                return VectorizedEngine(
+                    _churn(base, tau, ts), BlindGossipVectorized(keys), seed=ts
+                )
+
+            def build_bc(ts: int, tau=tau) -> VectorizedEngine:
+                return VectorizedEngine(
+                    _churn(base, tau, ts),
+                    BitConvergenceVectorized(
+                        keys, config, tag_seed=ts, unique_tags=True
+                    ),
+                    seed=ts,
+                )
+
+            bg = _median_rounds(
+                build_bg, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            bc = _median_rounds(
+                build_bc, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
         table.add_row("inf" if math.isinf(tau) else int(tau), bg, bc, bg / bc)
     return table
 
@@ -868,6 +949,7 @@ def exp_dynamic_comparison(
     seed: int = 0,
     max_rounds: int = 600_000,
     beta: float = 1.0,
+    engine: str = "single",
 ) -> Table:
     """Bit convergence: ring (α ~ 1/n) vs random regular (α ~ const).
 
@@ -904,6 +986,7 @@ def exp_dynamic_comparison(
             "bound's per-round alpha is adversarial worst case.",
         ],
     )
+    _check_engine(engine)
     for n in sizes:
         ring = families.ring(n)
         reg = families.random_regular(n, degree, seed=seed + n)
@@ -911,31 +994,53 @@ def exp_dynamic_comparison(
         cfg_ring = BitConvergenceConfig(n_upper=n, delta_bound=2, beta=beta)
         cfg_reg = BitConvergenceConfig(n_upper=n, delta_bound=degree, beta=beta)
 
-        def build(ts: int, *, base, cfg, tau) -> VectorizedEngine:
-            return VectorizedEngine(
-                _churn(base, tau, ts),
-                BitConvergenceVectorized(keys, cfg, tag_seed=ts, unique_tags=True),
-                seed=ts,
-            )
-
         from functools import partial
 
-        ring_static = _median_rounds(
-            partial(build, base=ring, cfg=cfg_ring, tau=math.inf),
-            trials=trials, max_rounds=max_rounds, seed=seed,
-        )
-        reg_static = _median_rounds(
-            partial(build, base=reg, cfg=cfg_reg, tau=math.inf),
-            trials=trials, max_rounds=max_rounds, seed=seed + 1,
-        )
-        ring_churn = _median_rounds(
-            partial(build, base=ring, cfg=cfg_ring, tau=1),
-            trials=trials, max_rounds=max_rounds, seed=seed + 2,
-        )
-        reg_churn = _median_rounds(
-            partial(build, base=reg, cfg=cfg_reg, tau=1),
-            trials=trials, max_rounds=max_rounds, seed=seed + 3,
-        )
+        if engine == "batched":
+
+            def build_b(seeds, *, base, cfg, tau):
+                return (
+                    _churn_batched(base, tau, seeds),
+                    BitConvergenceBatched(keys, cfg, unique_tags=True),
+                )
+
+            cell = partial(
+                _median_rounds_batched, trials=trials, max_rounds=max_rounds
+            )
+            ring_static = cell(
+                partial(build_b, base=ring, cfg=cfg_ring, tau=math.inf), seed=seed
+            )
+            reg_static = cell(
+                partial(build_b, base=reg, cfg=cfg_reg, tau=math.inf), seed=seed + 1
+            )
+            ring_churn = cell(
+                partial(build_b, base=ring, cfg=cfg_ring, tau=1), seed=seed + 2
+            )
+            reg_churn = cell(
+                partial(build_b, base=reg, cfg=cfg_reg, tau=1), seed=seed + 3
+            )
+        else:
+
+            def build(ts: int, *, base, cfg, tau) -> VectorizedEngine:
+                return VectorizedEngine(
+                    _churn(base, tau, ts),
+                    BitConvergenceVectorized(keys, cfg, tag_seed=ts, unique_tags=True),
+                    seed=ts,
+                )
+
+            cell = partial(_median_rounds, trials=trials, max_rounds=max_rounds)
+            ring_static = cell(
+                partial(build, base=ring, cfg=cfg_ring, tau=math.inf), seed=seed
+            )
+            reg_static = cell(
+                partial(build, base=reg, cfg=cfg_reg, tau=math.inf), seed=seed + 1
+            )
+            ring_churn = cell(
+                partial(build, base=ring, cfg=cfg_ring, tau=1), seed=seed + 2
+            )
+            reg_churn = cell(
+                partial(build, base=reg, cfg=cfg_reg, tau=1), seed=seed + 3
+            )
         table.add_row(
             n, ring_static, reg_static, ring_static / reg_static, ring_churn, reg_churn
         )
@@ -953,6 +1058,7 @@ def exp_adaptive_adversary(
     trials: int = 8,
     seed: int = 0,
     max_rounds: int = 600_000,
+    engine: str = "single",
 ) -> Table:
     """PUSH-PULL under adaptive worst-case churn vs oblivious churn.
 
@@ -965,8 +1071,9 @@ def exp_adaptive_adversary(
     node per round.  Expected ordering: oblivious ≤ static ≤ adaptive,
     with the adaptive column growing ~linearly in n on top.
     """
-    from repro.graphs.adversary import PackingAdversary
+    from repro.graphs.adversary import BatchedPackingAdversary, PackingAdversary
 
+    _check_engine(engine)
     table = Table(
         title="E12 (extension): b=0 PUSH-PULL — oblivious vs adaptive tau=1 churn",
         columns=["Delta", "n", "static", "oblivious tau=1", "adaptive tau=1"],
@@ -982,32 +1089,60 @@ def exp_adaptive_adversary(
         n, delta = base.n, base.max_degree
         source = np.array([2])
 
-        def build_static(ts: int, base=base) -> VectorizedEngine:
-            return VectorizedEngine(
-                StaticDynamicGraph(base), PushPullVectorized(source), seed=ts
-            )
+        if engine == "batched":
 
-        def build_obliv(ts: int, base=base) -> VectorizedEngine:
-            return VectorizedEngine(
-                PeriodicRelabelDynamicGraph(base, 1, seed=ts),
-                PushPullVectorized(source),
-                seed=ts,
-            )
+            def build_static_b(seeds, base=base):
+                return StaticDynamicGraph(base), PushPullBatched(source)
 
-        def build_adaptive(ts: int, base=base) -> VectorizedEngine:
-            return VectorizedEngine(
-                PackingAdversary(base, tau=1), PushPullVectorized(source), seed=ts
-            )
+            def build_obliv_b(seeds, base=base):
+                return (
+                    _churn_batched(base, 1, seeds),
+                    PushPullBatched(source),
+                )
 
-        med_static = _median_rounds(
-            build_static, trials=trials, max_rounds=max_rounds, seed=seed
-        )
-        med_obliv = _median_rounds(
-            build_obliv, trials=trials, max_rounds=max_rounds, seed=seed + 1
-        )
-        med_adapt = _median_rounds(
-            build_adaptive, trials=trials, max_rounds=max_rounds, seed=seed + 2
-        )
+            def build_adaptive_b(seeds, base=base):
+                return (
+                    BatchedPackingAdversary(base, tau=1, replicas=len(seeds)),
+                    PushPullBatched(source),
+                )
+
+            med_static = _median_rounds_batched(
+                build_static_b, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            med_obliv = _median_rounds_batched(
+                build_obliv_b, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
+            med_adapt = _median_rounds_batched(
+                build_adaptive_b, trials=trials, max_rounds=max_rounds, seed=seed + 2
+            )
+        else:
+
+            def build_static(ts: int, base=base) -> VectorizedEngine:
+                return VectorizedEngine(
+                    StaticDynamicGraph(base), PushPullVectorized(source), seed=ts
+                )
+
+            def build_obliv(ts: int, base=base) -> VectorizedEngine:
+                return VectorizedEngine(
+                    PeriodicRelabelDynamicGraph(base, 1, seed=ts),
+                    PushPullVectorized(source),
+                    seed=ts,
+                )
+
+            def build_adaptive(ts: int, base=base) -> VectorizedEngine:
+                return VectorizedEngine(
+                    PackingAdversary(base, tau=1), PushPullVectorized(source), seed=ts
+                )
+
+            med_static = _median_rounds(
+                build_static, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+            med_obliv = _median_rounds(
+                build_obliv, trials=trials, max_rounds=max_rounds, seed=seed + 1
+            )
+            med_adapt = _median_rounds(
+                build_adaptive, trials=trials, max_rounds=max_rounds, seed=seed + 2
+            )
         table.add_row(delta, n, med_static, med_obliv, med_adapt)
     return table
 
@@ -1553,6 +1688,7 @@ def exp_ablation_group_len(
     seed: int = 0,
     max_rounds: int = 400_000,
     beta: float = 1.0,
+    engine: str = "single",
 ) -> Table:
     """Vary the group-length multiplier of bit convergence.
 
@@ -1560,6 +1696,7 @@ def exp_ablation_group_len(
     ``τ̂``-stable stretch.  Shorter groups shrink the stable stretch PPUSH
     can exploit under churn; longer groups pay more rounds per phase.
     """
+    _check_engine(engine)
     base = families.random_regular(n, degree, seed=seed)
     delta = base.max_degree
     keys = uid_keys_random(n, seed)
@@ -1577,14 +1714,27 @@ def exp_ablation_group_len(
             n_upper=n, delta_bound=delta, beta=beta, group_multiplier=mult
         )
 
-        def build(ts: int, config=config) -> VectorizedEngine:
-            return VectorizedEngine(
-                PeriodicRelabelDynamicGraph(base, tau, seed=ts),
-                BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
-                seed=ts,
-            )
+        if engine == "batched":
 
-        med = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
+            def build_b(seeds, config=config):
+                return (
+                    _churn_batched(base, tau, seeds),
+                    BitConvergenceBatched(keys, config, unique_tags=True),
+                )
+
+            med = _median_rounds_batched(
+                build_b, trials=trials, max_rounds=max_rounds, seed=seed
+            )
+        else:
+
+            def build(ts: int, config=config) -> VectorizedEngine:
+                return VectorizedEngine(
+                    PeriodicRelabelDynamicGraph(base, tau, seed=ts),
+                    BitConvergenceVectorized(keys, config, tag_seed=ts, unique_tags=True),
+                    seed=ts,
+                )
+
+            med = _median_rounds(build, trials=trials, max_rounds=max_rounds, seed=seed)
         table.add_row(mult, config.group_len, config.phase_len, med)
     return table
 
@@ -1762,14 +1912,19 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Thm VII.2: bit convergence O((1/alpha) Delta^(1/tau_hat) tau_hat log^5 n)",
             exp_bit_convergence_tau,
             quick=dict(n=64, degree=16, taus=(1, 2, 4, math.inf), trials=5),
-            standard=dict(n=128, degree=16, taus=(1, 2, 4, 8, 16, math.inf), trials=12),
+            standard=dict(
+                n=128, degree=16, taus=(1, 2, 4, 8, 16, math.inf), trials=12,
+                engine="batched",
+            ),
         ),
         Experiment(
             "E7",
             "Sec VII: b=0 vs b=1 gap grows from Delta to Delta^2 with tau",
             exp_gap_b0_b1,
             quick=dict(leaves=32, taus=(1, 4, math.inf), trials=5),
-            standard=dict(leaves=64, taus=(1, 2, 4, 8, math.inf), trials=12),
+            standard=dict(
+                leaves=64, taus=(1, 2, 4, 8, math.inf), trials=12, engine="batched"
+            ),
         ),
         Experiment(
             "E8",
@@ -1797,14 +1952,14 @@ EXPERIMENTS: dict[str, Experiment] = {
             "1/alpha drives the cost at tau=1 (vs KLO O(n^2))",
             exp_dynamic_comparison,
             quick=dict(sizes=(16, 64), trials=4),
-            standard=dict(sizes=(32, 64, 128, 256), trials=10),
+            standard=dict(sizes=(32, 64, 128, 256), trials=10, engine="batched"),
         ),
         Experiment(
             "E12",
             "Extension: adaptive adversary realizes the worst case oblivious churn cannot",
             exp_adaptive_adversary,
             quick=dict(leaf_counts=(8, 16), trials=5),
-            standard=dict(leaf_counts=(8, 16, 32, 64), trials=12),
+            standard=dict(leaf_counts=(8, 16, 32, 64), trials=12, engine="batched"),
         ),
         Experiment(
             "E14",
@@ -1860,7 +2015,9 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Ablation: group length 2*log(Delta)",
             exp_ablation_group_len,
             quick=dict(n=16, degree=4, multipliers=(1, 2, 4), trials=4),
-            standard=dict(n=32, degree=4, multipliers=(1, 2, 4, 8), trials=10),
+            standard=dict(
+                n=32, degree=4, multipliers=(1, 2, 4, 8), trials=10, engine="batched"
+            ),
         ),
         Experiment(
             "A2",

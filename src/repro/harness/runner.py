@@ -10,7 +10,8 @@ can fan out over processes when the builder is picklable (module-level
 functions / :func:`functools.partial`), per the standard multiprocessing
 constraint.  :func:`run_trials_batched` instead executes *all* trials of
 one configuration as a single :class:`~repro.core.batched.BatchedVectorizedEngine`
-run — the fast path for static-topology sweeps.
+run — the fast path for static-topology *and* isomorphic-churn sweeps
+(relabelings of a shared base run permutation-natively).
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ import numpy as np
 from repro.analysis.statistics import Summary, summarize
 from repro.core.batched import BatchedAlgorithm, BatchedVectorizedEngine
 from repro.core.trace import RunResult
-from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.dynamic import BatchedPermutedDynamicGraph, DynamicGraph
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -182,7 +183,11 @@ def run_trials(
 
 def run_trials_batched(
     build_batched: Callable[
-        [Sequence[int]], tuple[DynamicGraph | Sequence[DynamicGraph], BatchedAlgorithm]
+        [Sequence[int]],
+        tuple[
+            DynamicGraph | BatchedPermutedDynamicGraph | Sequence[DynamicGraph],
+            BatchedAlgorithm,
+        ],
     ],
     *,
     trials: int,
@@ -202,10 +207,15 @@ def run_trials_batched(
     ----------
     build_batched
         ``build_batched(trial_seeds)`` returns the ``(dynamic_graph,
-        batched_algorithm)`` pair for the whole batch — either one shared
-        :class:`~repro.graphs.dynamic.DynamicGraph` (static topologies)
-        or one dynamic graph per trial seed (per-trial topology
-        randomness, e.g. churn relabelings keyed on the trial seed).
+        batched_algorithm)`` pair for the whole batch — one shared
+        :class:`~repro.graphs.dynamic.DynamicGraph` (static topologies),
+        one dynamic graph per trial seed (per-trial topology randomness,
+        e.g. churn relabelings keyed on the trial seed; relabelings of a
+        shared base object take the engine's permutation-native fast
+        path), or one
+        :class:`~repro.graphs.dynamic.BatchedPermutedDynamicGraph`
+        covering all replicas (e.g.
+        :class:`~repro.graphs.adversary.BatchedPackingAdversary`).
     trials, max_rounds, seed, check_every
         As in :func:`run_trials`; the trial-seed sequence is identical,
         so outcome lists from the two runners describe the same trials.

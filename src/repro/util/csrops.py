@@ -31,9 +31,14 @@ primitives with a leading replica axis:
     per-(replica, receiver) uniform acceptance over flat proposal arrays
     carrying a replica id — one sort covers all replicas.
 
-Replicas with *distinct* topologies (dynamic/adversarial graphs) are
-handled by :func:`stack_csr`, which assembles a block-diagonal CSR so the
-plain segmented kernels batch over ``T·n`` vertices directly.
+Replicas with *distinct* topologies come in two tiers.  Isomorphic churn
+(relabelings of one shared base graph — the dominant dynamic workload) is
+served by :func:`batched_permuted_pick`, which routes each replica's pick
+through its ``(n,)`` relabel permutation against the single base CSR, so
+no per-round graph construction or restacking happens at all.  Genuinely
+structure-changing replicas are handled by :func:`stack_csr`, which
+assembles a block-diagonal CSR so the plain segmented kernels batch over
+``T·n`` vertices directly.
 """
 
 from __future__ import annotations
@@ -49,7 +54,9 @@ __all__ = [
     "segmented_uniform_accept",
     "segmented_uniform_accept_pairs",
     "batched_random_pick",
+    "batched_permuted_pick",
     "batched_uniform_accept",
+    "invert_permutations",
     "stack_csr",
 ]
 
@@ -348,6 +355,117 @@ def batched_random_pick(
     flat_pos = np.searchsorted(csum, target_rank, side="left")
     pick.reshape(T * n)[rows] = indices[flat_pos % nnz]
     return pick
+
+
+def invert_permutations(perm: np.ndarray) -> np.ndarray:
+    """Row-wise inverse of a ``(T, n)`` batch of permutations.
+
+    ``inv[t, perm[t, u]] == u`` — one scatter for the whole batch.
+    """
+    inv = np.empty_like(perm)
+    np.put_along_axis(
+        inv, perm, np.arange(perm.shape[1], dtype=perm.dtype)[None, :], axis=1
+    )
+    return inv
+
+
+def batched_permuted_pick(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+    perm: np.ndarray,
+    active: np.ndarray,
+    *,
+    neighbor_mask: np.ndarray | None = None,
+    perm_inv: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-replica uniform neighbor pick through per-replica *relabelings*.
+
+    Replica ``t``'s round topology is the shared base CSR with vertex
+    ``u`` renamed ``perm[t, u]`` (``Graph.relabel`` semantics).  This is
+    the isomorphic-churn fast path: semantically identical to relabeling
+    the base graph per replica and running :func:`segmented_random_pick`
+    on each (or on their stacked CSR), but no relabeled graph, re-sorted
+    CSR, or block-diagonal stack is ever built — sender and eligibility
+    masks are gathered back to base coordinates, the pick runs against
+    the one base CSR, and the chosen neighbors are mapped forward.
+
+    Relabeling is a bijection on each vertex's neighbor set, so a uniform
+    choice among eligible base neighbors *is* a uniform choice among
+    eligible current-label neighbors.
+
+    Parameters
+    ----------
+    indptr, indices
+        Base CSR adjacency shared by every replica.
+    rng
+        Generator for the per-sender uniform draws.
+    perm
+        ``(T, n)`` relabel permutations; ``perm[t, u]`` is base vertex
+        ``u``'s current label in replica ``t``.
+    active
+        ``(T, n)`` boolean sender mask in *current* labels.
+    neighbor_mask
+        Optional ``(T, n)`` per-replica vertex eligibility, in current
+        labels.
+    perm_inv
+        Optional precomputed :func:`invert_permutations` of ``perm``
+        (callers that hold ``perm`` fixed across an epoch cache it).
+
+    Returns
+    -------
+    (senders_flat, targets_flat)
+        Compact parallel flat arrays in current labels
+        (``flat = t*n + v``): each sender that found an eligible neighbor,
+        with its pick.
+    """
+    _require_bool("active", active)
+    if active.ndim != 2:
+        raise ValueError("active must have shape (T, n)")
+    T, n = active.shape
+    if perm.shape != (T, n):
+        raise ValueError("perm must have shape (T, n)")
+    if indptr.shape[0] != n + 1:
+        raise ValueError("active rows must match the CSR vertex count")
+    p_flat = perm.reshape(T * n)
+
+    if neighbor_mask is None:
+        if perm_inv is None:
+            perm_inv = invert_permutations(perm)
+        # Unmasked: gather senders to base vertices, draw one neighbor
+        # offset each against the base degrees, map the pick forward.
+        sflat = np.flatnonzero(active)
+        rows = sflat % n
+        base_off = sflat - rows
+        u = perm_inv.reshape(T * n)[sflat]
+        d = (indptr[u + 1] - indptr[u])
+        ok = d > 0
+        if not ok.all():
+            sflat, base_off, u, d = sflat[ok], base_off[ok], u[ok], d[ok]
+        if sflat.size == 0:
+            return sflat, sflat
+        # floor(u * d) for u ~ U[0, 1): uniform over [0, d) up to an
+        # O(d / 2^53) rounding bias — immaterial here, and roughly half
+        # the cost of a per-element bounded integer draw.
+        offsets = (rng.random(d.size) * d).astype(np.int64)
+        w = indices[indptr[u] + offsets]
+        return sflat, base_off + p_flat[base_off + w]
+
+    # Masked: transport both masks to base coordinates
+    # (mask_base[t, u] = mask[t, perm[t, u]]), pick on the base CSR, then
+    # map both endpoints forward.
+    active_base = np.take_along_axis(active, perm, axis=1)
+    nb_base = np.take_along_axis(neighbor_mask, perm, axis=1)
+    picks = batched_random_pick(
+        indptr, indices, rng, active_base, neighbor_mask=nb_base
+    )
+    pf = picks.reshape(T * n)
+    sel = np.flatnonzero(pf >= 0)  # flat *base* ids t*n + u
+    rows = sel % n
+    base_off = sel - rows
+    sflat = base_off + p_flat[sel]
+    tflat = base_off + p_flat[base_off + pf[sel]]
+    return sflat, tflat
 
 
 def batched_uniform_accept(
