@@ -173,7 +173,7 @@ def test_batched_random_pick(benchmark):
 
 
 # ---------------------------------------------------------------------------
-# Churn tier: static vs permutation-native vs stacked, with asserted targets
+# Churn + fault tier: cross-configuration ratios with asserted targets
 # ---------------------------------------------------------------------------
 #
 # These tests time with perf_counter instead of the ``benchmark`` fixture
@@ -181,7 +181,7 @@ def test_batched_random_pick(benchmark):
 # compare two workloads) and they must run under plain pytest in CI (the
 # ``--benchmark-only`` pass skips them).  Run them with::
 #
-#     pytest benchmarks/bench_engine.py -k churn
+#     pytest benchmarks/bench_engine.py -k "churn or fault"
 #
 # Passing runs append one trajectory record to ``BENCH_engine.json`` at the
 # repo root; ``benchmarks/check_engine_regression.py`` gates CI on the
@@ -329,6 +329,47 @@ def test_churn_trial_throughput():
         f"batched churn sweep is only {speedup:.1f}x the per-trial loop "
         f"(target >= {CHURN_TRIAL_SPEEDUP_MIN}x): "
         f"{single_s:.2f}s vs {batched_s:.2f}s"
+    )
+
+
+#: Max tolerated round-cost ratio of an empty FaultPlan over no plan.
+EMPTY_PLAN_OVERHEAD_MAX = 1.05
+
+
+def test_fault_empty_plan_overhead():
+    """An engine built with an empty ``FaultPlan`` costs ≤5% per round.
+
+    Engines normalize an empty plan to no plan at construction, so the
+    hot loop is the very same code path; this bench pins that guarantee
+    against future fault hooks leaking into the faultless path.
+    """
+    from repro.faults import FaultPlan
+
+    g = families.random_regular(N, DEGREE, seed=0)
+    keys = uid_keys_random(N, 0)
+    seeds = trial_seeds_for(0, REPLICAS)
+
+    def make(plan):
+        return lambda: BatchedVectorizedEngine(
+            StaticDynamicGraph(g),
+            BlindGossipBatched(keys),
+            seeds=seeds,
+            fault_plan=plan,
+        )
+
+    # Paired passes, then the min ratio: with a gate this tight the
+    # signal is ~1.0 by construction and the rest is scheduler noise,
+    # which paired medians plus a min across passes filter out.
+    ratios = []
+    for _ in range(3):
+        base_ms = _ms_per_round(make(None), rounds=200, repeats=3)
+        plan_ms = _ms_per_round(make(FaultPlan()), rounds=200, repeats=3)
+        ratios.append(plan_ms / base_ms)
+    overhead = min(ratios)
+    _measurements["empty_plan_overhead"] = overhead
+    assert overhead <= EMPTY_PLAN_OVERHEAD_MAX, (
+        f"empty-FaultPlan rounds cost {overhead:.3f}x the faultless rounds "
+        f"(target <= {EMPTY_PLAN_OVERHEAD_MAX}x)"
     )
 
 

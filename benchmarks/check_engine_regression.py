@@ -1,15 +1,25 @@
 """CI gate: fail on >30% engine-throughput regression vs the committed baseline.
 
-``benchmarks/bench_engine.py -k churn`` appends one record per run to
-``BENCH_engine.json`` at the repo root.  This script compares the newest
-record (the current run) against the newest *committed* record (the one
-before it) on the two dimensionless ratios — machine speed cancels out of
-both, so the gate is meaningful across runner hardware:
+``benchmarks/bench_engine.py -k "churn or fault"`` appends one record per
+run to ``BENCH_engine.json`` at the repo root.  This script compares the
+newest record (the current run) against the newest *committed* record
+(the one before it) on dimensionless ratios — machine speed cancels out
+of each, so the gate is meaningful across runner hardware:
 
 - ``churn_trial_speedup``   (batched sweep over per-trial loop; higher is
   better) must not drop below 70% of the baseline;
 - ``permuted_over_static``  (fast-path round cost over static round cost;
-  lower is better) must not grow above 130% of the baseline.
+  lower is better) must not grow above 130% of the baseline;
+- ``empty_plan_overhead``   (batched round cost with an empty FaultPlan
+  over the faultless engine; ~1.0 by construction) must not grow above
+  130% of the baseline, and never above the absolute 1.05 cap the bench
+  itself asserts.
+
+A ratio present in the current record but absent from the baseline is a
+*new metric* (added after the baseline was committed): it is reported and
+passes; the next committed record becomes its baseline.  A ratio missing
+from the *current* record is a failure — the bench that produces it did
+not run.
 
 Usage::
 
@@ -26,6 +36,9 @@ from pathlib import Path
 
 #: Allowed relative slack before a ratio counts as a regression.
 TOLERANCE = 0.30
+
+#: Hard ceilings independent of any baseline (mirror the bench asserts).
+ABSOLUTE_MAX = {"empty_plan_overhead": 1.05}
 
 
 def check(path: Path) -> int:
@@ -47,10 +60,21 @@ def check(path: Path) -> int:
     for key, higher_is_better in (
         ("churn_trial_speedup", True),
         ("permuted_over_static", False),
+        ("empty_plan_overhead", False),
     ):
         base, cur = baseline.get(key), current.get(key)
-        if base is None or cur is None:
-            failures.append(f"{key}: missing from record")
+        if cur is None:
+            failures.append(f"{key}: missing from current record")
+            continue
+        cap = ABSOLUTE_MAX.get(key)
+        if cap is not None and cur > cap:
+            print(f"  {key}: {cur:.3f} exceeds absolute cap {cap:.3f} REGRESSION")
+            failures.append(f"{key}: {cur:.3f} > absolute cap {cap:.3f}")
+            continue
+        if base is None:
+            # Metric newer than the baseline record: nothing to compare
+            # against yet; the next committed record becomes its baseline.
+            print(f"  {key}: {cur:.3f} (new metric; no baseline) ok")
             continue
         if higher_is_better:
             limit = base * (1 - TOLERANCE)

@@ -234,6 +234,37 @@ class AsyncBitConvergenceVectorized(VectorizedAlgorithm):
         t, k = state.target_tag, state.target_key
         return bool(((state.ctag == t) & (state.ckey == k)).all())
 
+    def corrupt_state(self, state, victims, rng) -> None:
+        """Give victims adversarial pairs from a fictional prior execution.
+
+        Victims receive *distinct* fresh ID tags not held by any survivor
+        — corruption models joining nodes from an arbitrary prior run
+        (Section VIII's self-stabilization setting), and the paper's
+        w.h.p. tag-uniqueness event is what makes stabilization
+        guaranteed rather than merely likely (duplicate tags can make
+        position-matched proposals starve).  Keys are fresh draws on the
+        simulator's ``[0, 10n)`` scale; the convergence target is
+        recomputed over the corrupted state.  (No crash/rejoin
+        ``reset_nodes`` is provided: the algorithm is self-stabilizing,
+        so "rebooted with arbitrary state" is this same hook.)
+        """
+        n = state.ctag.shape[0]
+        k = self.config.k
+        mask = np.zeros(n, dtype=bool)
+        mask[victims] = True
+        taken = set(state.ctag[~mask].tolist())
+        fresh = [t for t in rng.permutation(1 << k).tolist() if t not in taken]
+        if len(fresh) < victims.size:
+            raise ValueError(
+                f"cannot draw {victims.size} distinct fresh tags at k={k}"
+            )
+        state.ctag[victims] = np.asarray(fresh[: victims.size], dtype=np.int64)
+        state.ckey[victims] = rng.integers(0, 10 * n, size=victims.size)
+        order = np.lexsort((state.ckey, state.ctag))
+        win = order[0]
+        state.target_tag = int(state.ctag[win])
+        state.target_key = int(state.ckey[win])
+
     def observable(self, state):
         # An adaptive adversary may watch who already holds the eventual
         # winner's pair.

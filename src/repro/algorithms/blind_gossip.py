@@ -60,6 +60,14 @@ class BlindGossipNode(LeaderElectionProtocol):
         if isinstance(received, UID) and received < self._best:
             self._best = received
 
+    # -- fault hooks -------------------------------------------------------
+
+    def reset(self) -> None:
+        self._best = self.uid
+
+    def corrupt(self, rng: np.random.Generator, n: int) -> None:
+        self._best = UID(int(rng.integers(0, 10 * n)))
+
 
 def make_blind_gossip_nodes(uid_space: UIDSpace) -> list[BlindGossipNode]:
     """One :class:`BlindGossipNode` per vertex of ``uid_space``."""
@@ -106,6 +114,15 @@ class BlindGossipVectorized(VectorizedAlgorithm):
 
     def converged(self, state) -> bool:
         return bool((state.best == state.target).all())
+
+    def corrupt_state(self, state, victims, rng) -> None:
+        state.best[victims] = rng.integers(0, 10 * self._keys.size, size=victims.size)
+        # The eventual winner is the min over the *corrupted* state.
+        state.target = int(state.best.min())
+
+    def reset_nodes(self, state, nodes, rng) -> None:
+        state.best[nodes] = self._keys[nodes]
+        state.target = int(state.best.min())
 
     def observable(self, state):
         # An adaptive adversary may watch who already holds the minimum.
@@ -156,6 +173,18 @@ class BlindGossipBatched(BatchedAlgorithm):
 
     def converged(self, state) -> np.ndarray:
         return (state.best == state.target).all(axis=1)
+
+    def corrupt_state(self, state, victims, rng) -> None:
+        rows = np.arange(victims.shape[0])[:, None]
+        state.best[rows, victims] = rng.integers(
+            0, 10 * self._keys.size, size=victims.shape
+        )
+        # Per-replica winner: (T, 1) broadcasts in `converged`.
+        state.target = state.best.min(axis=1, keepdims=True)
+
+    def reset_nodes(self, state, nodes, rng) -> None:
+        state.best[:, nodes] = self._keys[nodes]
+        state.target = state.best.min(axis=1, keepdims=True)
 
     def observable(self, state) -> np.ndarray:
         return state.best == state.target

@@ -37,6 +37,7 @@ class PPushNode(RumorProtocol):
     def __init__(self, node_id: int, uid: UID, informed: bool):
         super().__init__(node_id, uid)
         self._informed = bool(informed)
+        self._source = bool(informed)  # initial status, for fault resets
 
     @property
     def informed(self) -> bool:
@@ -59,6 +60,16 @@ class PPushNode(RumorProtocol):
     def deliver(self, peer: int, message: Message) -> None:
         if message.data is True:
             self._informed = True
+
+    # -- fault hooks -------------------------------------------------------
+
+    def reset(self) -> None:
+        self._informed = self._source
+
+    def corrupt(self, rng: np.random.Generator, n: int) -> None:
+        # Corruption knocks the node back to its initial status (see
+        # PushPullNode.corrupt for the rationale).
+        self._informed = self._source
 
 
 def make_ppush_nodes(uid_space, sources: set[int]) -> list[PPushNode]:
@@ -107,6 +118,12 @@ class PPushVectorized(VectorizedAlgorithm):
     def converged(self, state) -> bool:
         return bool(state.informed.all())
 
+    def corrupt_state(self, state, victims, rng) -> None:
+        state.informed[victims] = np.isin(victims, self._sources)
+
+    def reset_nodes(self, state, nodes, rng) -> None:
+        state.informed[nodes] = np.isin(nodes, self._sources)
+
     def observable(self, state):
         # An adaptive adversary may watch who is informed.
         return state.informed
@@ -153,6 +170,13 @@ class PPushBatched(BatchedAlgorithm):
 
     def converged(self, state) -> np.ndarray:
         return state.informed.all(axis=1)
+
+    def corrupt_state(self, state, victims, rng) -> None:
+        rows = np.arange(victims.shape[0])[:, None]
+        state.informed[rows, victims] = np.isin(victims, self._sources)
+
+    def reset_nodes(self, state, nodes, rng) -> None:
+        state.informed[:, nodes] = np.isin(nodes, self._sources)[None, :]
 
     def observable(self, state) -> np.ndarray:
         return state.informed

@@ -54,6 +54,7 @@ class PushPullNode(RumorProtocol):
     def __init__(self, node_id: int, uid: UID, informed: bool, direction: str = "both"):
         super().__init__(node_id, uid)
         self._informed = bool(informed)
+        self._source = bool(informed)  # initial status, for fault resets
         self._direction = _check_direction(direction)
         self._proposed_to: int | None = None
 
@@ -83,6 +84,17 @@ class PushPullNode(RumorProtocol):
         if self._direction == "pull" and not i_proposed:
             return  # pull-only: an informed proposer cannot inform its acceptor
         self._informed = True
+
+    # -- fault hooks -------------------------------------------------------
+
+    def reset(self) -> None:
+        self._informed = self._source
+
+    def corrupt(self, rng: np.random.Generator, n: int) -> None:
+        # A rumor bit has no arbitrary value to corrupt *to* that keeps
+        # "everyone informed" well-defined; corruption knocks the node
+        # back to its initial status (sources re-seed the rumor).
+        self._informed = self._source
 
 
 def make_push_pull_nodes(
@@ -142,6 +154,14 @@ class PushPullVectorized(VectorizedAlgorithm):
     def converged(self, state) -> bool:
         return bool(state.informed.all())
 
+    def corrupt_state(self, state, victims, rng) -> None:
+        # Corruption knocks victims back to their initial status (see
+        # PushPullNode.corrupt): sources re-seed, others forget.
+        state.informed[victims] = np.isin(victims, self._sources)
+
+    def reset_nodes(self, state, nodes, rng) -> None:
+        state.informed[nodes] = np.isin(nodes, self._sources)
+
     def observable(self, state):
         # An adaptive adversary may watch who is informed.
         return state.informed
@@ -192,6 +212,13 @@ class PushPullBatched(BatchedAlgorithm):
 
     def converged(self, state) -> np.ndarray:
         return state.informed.all(axis=1)
+
+    def corrupt_state(self, state, victims, rng) -> None:
+        rows = np.arange(victims.shape[0])[:, None]
+        state.informed[rows, victims] = np.isin(victims, self._sources)
+
+    def reset_nodes(self, state, nodes, rng) -> None:
+        state.informed[:, nodes] = np.isin(nodes, self._sources)[None, :]
 
     def observable(self, state) -> np.ndarray:
         return state.informed

@@ -9,9 +9,12 @@ Commands
 ``graph <family> [params…]``
     Build a graph family and report n, m, Δ, α (best estimate), γ (exact
     when small), and the spectral lower bound.
-``simulate <algorithm> --family <family> [params…]``
+``simulate <algorithm> --family <family> [params…] [--fault-plan PLAN.json]``
     Run one seeded leader-election / rumor-spreading execution and print
-    the stabilization round plus a progress sparkline.
+    the stabilization round plus a progress sparkline; an optional JSON
+    fault plan injects crashes, drops, and corruption.
+``faults template [--out PATH]`` / ``faults describe PLAN.json``
+    Emit an example fault-plan JSON, or summarize an existing one.
 ``bounds --n N --alpha A --delta D [--tau T]``
     Evaluate every closed-form bound from the paper at a parameter point.
 """
@@ -88,6 +91,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stability factor (inf = static topology)")
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--max-rounds", type=int, default=1_000_000)
+    p_sim.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN.json",
+        help="JSON fault plan to inject (see `repro faults template`)",
+    )
+
+    p_faults = sub.add_parser("faults", help="author and inspect fault plans")
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_tmpl = faults_sub.add_parser(
+        "template", help="emit an example fault-plan JSON"
+    )
+    p_tmpl.add_argument("--out", help="write the template to this path")
+    p_desc = faults_sub.add_parser(
+        "describe", help="summarize a fault-plan JSON file"
+    )
+    p_desc.add_argument("plan", help="path to the plan JSON")
 
     p_bounds = sub.add_parser("bounds", help="evaluate the paper's bound formulas")
     p_bounds.add_argument("--n", type=int, required=True)
@@ -193,6 +213,7 @@ def _cmd_simulate(
     tau: float,
     seed: int,
     max_rounds: int,
+    fault_plan_path: str | None = None,
 ) -> int:
     from repro.algorithms import (
         AsyncBitConvergenceVectorized,
@@ -228,7 +249,15 @@ def _cmd_simulate(
         if math.isinf(tau)
         else PeriodicRelabelDynamicGraph(g, int(tau), seed=seed)
     )
-    engine = VectorizedEngine(dg, algo, seed=seed)
+    plan = None
+    gate = 0
+    if fault_plan_path:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_file(fault_plan_path)
+        gate = plan.quiesce_round
+        print(f"fault plan : {plan.describe()}")
+    engine = VectorizedEngine(dg, algo, seed=seed, fault_plan=plan)
     curve = SpreadCurve()
     progress = getattr(algo, "observable", lambda s: None)
     for r in range(1, max_rounds + 1):
@@ -236,7 +265,9 @@ def _cmd_simulate(
         obs = progress(engine.state)
         if obs is not None:
             curve.record(int(np.asarray(obs).sum()))
-        if algo.converged(engine.state):
+        # With a fault plan, convergence only counts after the last
+        # scheduled fault (transient events can fake agreement).
+        if r >= gate and algo.converged(engine.state):
             print(f"algorithm  : {algorithm}")
             print(f"topology   : {family} (n={n}, Delta={g.max_degree}, tau={tau})")
             print(f"stabilized : round {r}")
@@ -245,6 +276,23 @@ def _cmd_simulate(
             return 0
     print(f"did not stabilize within {max_rounds} rounds")
     return 1
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultPlan, example_plan
+
+    if args.faults_command == "template":
+        text = example_plan().to_json()
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"template written to {args.out}")
+        else:
+            print(text)
+        return 0
+    plan = FaultPlan.from_file(args.plan)
+    print(plan.describe())
+    return 0
 
 
 def _cmd_bounds(n: int, alpha: float, delta: int, tau: float) -> int:
@@ -284,8 +332,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "simulate":
         return _cmd_simulate(
             args.algorithm, args.family, args.params, args.tau, args.seed,
-            args.max_rounds,
+            args.max_rounds, args.fault_plan,
         )
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "bounds":
         return _cmd_bounds(args.n, args.alpha, args.delta, args.tau)
     if args.command == "report":

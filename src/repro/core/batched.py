@@ -164,6 +164,38 @@ class BatchedAlgorithm(ABC):
         """``(T, n)`` per-replica adaptive-adversary observation, or ``None``."""
         return None
 
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def corrupt_state(
+        self, state: object, victims: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Overwrite per-replica ``victims`` (``(T, k)``) with arbitrary values.
+
+        Engine hook for :class:`~repro.faults.plan.StateCorruptionEvent`:
+        row ``t`` of ``victims`` lists the ``k`` corrupted vertices of
+        replica ``t``.  Implementations must mirror their vectorized
+        counterpart's ``corrupt_state`` distribution and recompute any
+        convergence target.  The default raises so unsupported fault
+        plans fail loudly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state corruption"
+        )
+
+    def reset_nodes(
+        self, state: object, nodes: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Restore ``nodes`` to their initial state in *every* replica.
+
+        Engine hook for :class:`~repro.faults.plan.CrashWindow` rejoins
+        with ``reset_on_rejoin`` — the crash schedule is deterministic
+        plan data shared by all replicas (like ``activation_rounds``), so
+        the same vertices reset batch-wide.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement crash/rejoin reset"
+        )
+
 
 class BatchedVectorizedEngine:
     """Runs a :class:`BatchedAlgorithm` over T replicas of one configuration.
@@ -188,6 +220,12 @@ class BatchedVectorizedEngine:
         separate engines).
     activation_rounds
         1-indexed activation round per node, shared by all replicas.
+    fault_plan
+        Optional :class:`~repro.faults.plan.FaultPlan` applied at the
+        standard hook points in every replica (crash schedules are
+        shared plan data; probabilistic faults draw per replica from a
+        dedicated batch-wide fault stream).  An empty plan is normalized
+        away and costs nothing.
     """
 
     def __init__(
@@ -197,6 +235,7 @@ class BatchedVectorizedEngine:
         *,
         seeds: Sequence[int] | np.ndarray,
         activation_rounds: Sequence[int] | np.ndarray | None = None,
+        fault_plan=None,
     ):
         from repro.graphs.adversary import AdaptiveDynamicGraph
 
@@ -256,6 +295,23 @@ class BatchedVectorizedEngine:
             if self.activation.shape != (self.n,) or self.activation.min() < 1:
                 raise ValueError("activation_rounds must be n 1-indexed rounds")
         self._rng = make_rng(int(self.seeds[0]), "batched-engine", self.replicas)
+        # An empty plan normalizes to no plan: the fault stream (its own
+        # label off the batch key) is then never created, keeping the
+        # faultless hot path bit-for-bit unchanged.
+        if fault_plan is not None and fault_plan.is_empty():
+            fault_plan = None
+        if fault_plan is not None:
+            from repro.faults.apply import BatchedFaultState
+
+            self._faults: BatchedFaultState | None = BatchedFaultState(
+                fault_plan,
+                self.n,
+                self.replicas,
+                make_rng(int(self.seeds[0]), "batched-faults", self.replicas),
+                tag_length=algorithm.tag_length,
+            )
+        else:
+            self._faults = None
         self.state = self.algo.init_state(self.n, self.seeds)
         #: Replicas still running (convergence masking).
         self.live = np.ones(self.replicas, dtype=bool)
@@ -377,6 +433,20 @@ class BatchedVectorizedEngine:
         local_rounds = np.maximum(r - self.activation + 1, 0)
         rng = self._rng
 
+        faults = self._faults
+        if faults is not None:
+            # Start-of-round fault events: rejoin resets, then corruption.
+            nodes = faults.rejoin_resets(r)
+            if nodes.size:
+                self.algo.reset_nodes(self.state, nodes, faults.rng)
+            for victims in faults.corruption_victims(r):
+                self.algo.corrupt_state(self.state, victims, faults.rng)
+            up = faults.up_mask(r)
+            if up is not None:
+                # Crash schedules are shared (n,) plan data, so the mask
+                # folds into `active` before the all-active fast path test.
+                active = active & up
+
         if self.bdg is not None:
             self.bdg.observe(r, self.algo.observable(self.state))
         elif self.dgs is not None and any(
@@ -393,6 +463,10 @@ class BatchedVectorizedEngine:
         all_active = bool(active.all())
         if not all_active:
             sender &= active[None, :]
+        if faults is not None and tags is not None:
+            # Corrupt at the advertiser's radio: the sender decision used
+            # the intended tag; receiver eligibility sees the corrupted one.
+            tags = faults.corrupt_tags(tags, active)
         recv = self.algo.receiver_mask(self.state, tags)
 
         # Target eligibility per vertex: must be active; algorithms may
@@ -476,6 +550,12 @@ class BatchedVectorizedEngine:
             acc_flat, win_flat = segmented_uniform_accept_pairs(
                 sflat.take(keep), tflat.take(keep), rng
             )
+            if faults is not None and acc_flat.size:
+                # Established connections drop before the payload exchange;
+                # connections_made counts only survivors.
+                keepc = faults.connection_keep(acc_flat.size)
+                if keepc is not None:
+                    acc_flat, win_flat = acc_flat[keepc], win_flat[keepc]
             if acc_flat.size:
                 arep = acc_flat // n
                 self.connections_made += np.bincount(arep, minlength=T)
@@ -486,17 +566,26 @@ class BatchedVectorizedEngine:
     # -- full runs -----------------------------------------------------------
 
     def run(self, max_rounds: int, *, check_every: int = 1) -> BatchedRunResult:
-        """Run until every replica's convergence predicate or ``max_rounds``."""
+        """Run until every replica's convergence predicate or ``max_rounds``.
+
+        With a fault plan, convergence checks are suppressed until the
+        plan's quiesce round (see
+        :meth:`repro.faults.plan.FaultPlan.quiesce_round`): transient
+        events can make an absorbing predicate momentarily
+        true-then-false, so only post-quiesce agreement certifies
+        stabilization.
+        """
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
         T = self.replicas
         last_activation = int(self.activation.max())
+        gate = self._faults.gate if self._faults is not None else 0
         rounds = np.full(T, max_rounds, dtype=np.int64)
         stabilized = np.zeros(T, dtype=bool)
         for r in range(1, max_rounds + 1):
             self.step(r)
             self.rounds_executed = r
-            if r % check_every == 0:
+            if r % check_every == 0 and r >= gate:
                 conv = np.asarray(self.algo.converged(self.state), dtype=bool)
                 newly = self.live & conv
                 if newly.any():
@@ -505,7 +594,7 @@ class BatchedVectorizedEngine:
                     self.live = self.live & ~conv
                     if not self.live.any():
                         break
-        if self.live.any():
+        if self.live.any() and max_rounds >= gate:
             # Horizon reached: replicas converging on the final round
             # outside the check stride still count, as in the single engine.
             conv = np.asarray(self.algo.converged(self.state), dtype=bool)

@@ -56,6 +56,10 @@ class ReferenceEngine:
         ``N = n``).
     collect_trace
         Record a full :class:`~repro.core.trace.Trace` (slower).
+    fault_plan
+        Optional :class:`~repro.faults.plan.FaultPlan` applied at the
+        standard hook points (see :mod:`repro.faults.plan`); an empty
+        plan is normalized away and costs nothing.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class ReferenceEngine:
         activation_rounds: Sequence[int] | None = None,
         budget: PayloadBudget | None = None,
         collect_trace: bool = False,
+        fault_plan=None,
     ):
         n = dynamic_graph.n
         if len(protocols) != n:
@@ -83,6 +88,22 @@ class ReferenceEngine:
                 raise ValueError("activation_rounds must be n 1-indexed rounds")
         self._node_rngs = spawn_rngs(seed, n, "node")
         self._engine_rng = make_rng(seed, "engine")
+        # An empty plan normalizes to no plan: the fault stream (its own
+        # "faults" label off the seed) is then never created, keeping the
+        # faultless path bit-for-bit unchanged.
+        if fault_plan is not None and fault_plan.is_empty():
+            fault_plan = None
+        if fault_plan is not None:
+            from repro.faults.apply import SingleFaultState
+
+            self._faults = SingleFaultState(
+                fault_plan,
+                n,
+                make_rng(seed, "faults"),
+                tag_length=max(p.tag_length for p in self.protocols),
+            )
+        else:
+            self._faults = None
         self.trace = Trace() if collect_trace else None
         self.rounds_executed = 0
         #: Cumulative connections established (2 messages each).
@@ -109,6 +130,17 @@ class ReferenceEngine:
             self.dg.observe(r, obs)
         graph = self.dg.graph_at(r)
         active = self.activation <= r
+        faults = self._faults
+        if faults is not None:
+            # Start-of-round fault events: rejoin resets, then corruption.
+            for v in faults.rejoin_resets(r):
+                self.protocols[v].reset()
+            for victims in faults.corruption_victims(r):
+                for v in victims:
+                    self.protocols[v].corrupt(faults.rng, self.n)
+            up = faults.up_mask(r)
+            if up is not None:
+                active = active & up
         tags = np.full(self.n, -1, dtype=np.int64)
 
         # 1. Tag selection happens before the scan (paper Section III).
@@ -121,6 +153,11 @@ class ReferenceEngine:
                     f"node {u} advertised tag {tag} outside {proto.tag_length} bits"
                 )
             tags[u] = tag
+
+        if faults is not None:
+            # Corrupt at the advertiser's radio: the node chose its tag
+            # normally; every scanner observes the corrupted value.
+            tags = faults.corrupt_tags(tags, active)
 
         # 2-3. Scan and decide.
         proposals: list[tuple[int, int]] = []
@@ -160,6 +197,13 @@ class ReferenceEngine:
             senders = incoming[t]
             pick = senders[int(self._engine_rng.integers(0, len(senders)))]
             connections.append((pick, t))
+
+        if faults is not None and connections:
+            # Established connections drop before the payload exchange;
+            # connections_made counts only survivors.
+            keep = faults.connection_keep(len(connections))
+            if keep is not None:
+                connections = [c for c, k in zip(connections, keep) if k]
 
         # 5. Bounded symmetric exchange per connection.
         self.connections_made += len(connections)
@@ -203,14 +247,21 @@ class ReferenceEngine:
         algorithm (e.g. every node holds the eventual leader) so that
         checking it every ``check_every`` rounds cannot miss stabilization
         permanently — it only quantizes the reported round count.
+
+        With a fault plan, checks are suppressed until the plan's quiesce
+        round (the last scheduled crash edge or corruption event):
+        transient events can make an absorbing predicate momentarily
+        true-then-false, so only post-quiesce agreement certifies
+        stabilization.
         """
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
         last_activation = int(self.activation.max())
+        gate = self._faults.gate if self._faults is not None else 0
         for r in range(1, max_rounds + 1):
             self.step(r)
             self.rounds_executed = r
-            if r % check_every == 0 and stop_when(self.protocols):
+            if r % check_every == 0 and r >= gate and stop_when(self.protocols):
                 return RunResult(
                     stabilized=True,
                     rounds=r,

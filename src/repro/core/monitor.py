@@ -41,8 +41,10 @@ def all_leaders_equal(protocols: Sequence[LeaderElectionProtocol]) -> bool:
     """All ``leader`` variables currently agree (not necessarily absorbing).
 
     Useful for inspecting transient agreement; stabilization checks should
-    prefer :func:`all_leaders_are`.
+    prefer :func:`all_leaders_are`.  An empty sequence agrees vacuously.
     """
+    if not protocols:
+        return True
     first = protocols[0].leader
     return all(p.leader == first for p in protocols)
 

@@ -91,6 +91,34 @@ class NodeProtocol(ABC):
     def end_round(self) -> None:
         """Finish the round (state transitions not tied to a connection)."""
 
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def reset(self) -> None:
+        """Restore the node's initial state (crash/rejoin with reset).
+
+        Called by the engine when a :class:`~repro.faults.plan.CrashWindow`
+        with ``reset_on_rejoin`` ends — the node rebooted and lost its
+        volatile state.  The default raises: a protocol must opt in
+        explicitly so unsupported fault plans fail loudly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement crash/rejoin reset"
+        )
+
+    def corrupt(self, rng: np.random.Generator, n: int) -> None:
+        """Overwrite this node's state with arbitrary values.
+
+        Called by the engine for
+        :class:`~repro.faults.plan.StateCorruptionEvent` victims; ``n``
+        is the network size, giving replacement draws the simulator's
+        key scale (UID keys live in ``[0, 10n)``).  Implementations must
+        match the distribution of their vectorized counterpart's
+        ``corrupt_state`` so the engine tiers stay cross-validatable.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state corruption"
+        )
+
 
 class LeaderElectionProtocol(NodeProtocol):
     """A protocol that maintains the problem's ``leader`` variable."""

@@ -22,11 +22,14 @@ the test suite cross-validates the two statistically.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.core.trace import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.faults.plan import FaultPlan
 from repro.graphs.dynamic import DynamicGraph
 from repro.graphs.static import Graph
 from repro.util.csrops import segmented_random_pick, segmented_uniform_accept
@@ -105,6 +108,36 @@ class VectorizedAlgorithm(ABC):
     def converged(self, state: object) -> bool:
         """Absorbing stabilization predicate over the current state."""
 
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def corrupt_state(
+        self, state: object, victims: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Overwrite ``victims``' state with arbitrary values.
+
+        Engine hook for :class:`~repro.faults.plan.StateCorruptionEvent`:
+        the implementation must replace the victims' algorithm state with
+        values drawn from ``rng`` and recompute its convergence target
+        over the corrupted state (the semilattice the algorithm computes
+        over).  The default raises so unsupported fault plans fail loudly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state corruption"
+        )
+
+    def reset_nodes(
+        self, state: object, nodes: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Restore ``nodes`` to their initial state (crash/rejoin reset).
+
+        Engine hook for :class:`~repro.faults.plan.CrashWindow` rejoins
+        with ``reset_on_rejoin``; implementations must also refresh their
+        convergence target if the reset can change it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement crash/rejoin reset"
+        )
+
     def observable(self, state: object) -> object | None:
         """What an adaptive adversary may observe each round.
 
@@ -126,6 +159,7 @@ class VectorizedEngine:
         *,
         seed: int | None = None,
         activation_rounds: Sequence[int] | np.ndarray | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ):
         self.dg = dynamic_graph
         self.algo = algorithm
@@ -137,6 +171,22 @@ class VectorizedEngine:
             if self.activation.shape != (self.n,) or self.activation.min() < 1:
                 raise ValueError("activation_rounds must be n 1-indexed rounds")
         self._rng = make_rng(seed, "vec-engine")
+        # An empty plan normalizes to no plan: the fault stream (a separate
+        # "faults" label off the trial seed) is then never created, keeping
+        # the faultless hot path bit-for-bit unchanged.
+        if fault_plan is not None and fault_plan.is_empty():
+            fault_plan = None
+        if fault_plan is not None:
+            from repro.faults.apply import SingleFaultState
+
+            self._faults: SingleFaultState | None = SingleFaultState(
+                fault_plan,
+                self.n,
+                make_rng(seed, "faults"),
+                tag_length=algorithm.tag_length,
+            )
+        else:
+            self._faults = None
         self.state = self.algo.init_state(self.n, make_rng(seed, "vec-init"))
         self.rounds_executed = 0
         #: Cumulative connections established (2 messages each; the
@@ -157,10 +207,26 @@ class VectorizedEngine:
         local_rounds = np.maximum(r - self.activation + 1, 0)
         rng = self._rng
 
+        faults = self._faults
+        if faults is not None:
+            # Start-of-round fault events: rejoin resets, then corruption.
+            nodes = faults.rejoin_resets(r)
+            if nodes.size:
+                self.algo.reset_nodes(self.state, nodes, faults.rng)
+            for victims in faults.corruption_victims(r):
+                self.algo.corrupt_state(self.state, victims, faults.rng)
+            up = faults.up_mask(r)
+            if up is not None:
+                active = active & up
+
         tags = self.algo.tags(self.state, local_rounds, active, rng)
         sender_mask = (
             self.algo.senders(self.state, tags, local_rounds, active, rng) & active
         )
+        if faults is not None:
+            # Corrupt at the advertiser's radio: the sender decision used
+            # the intended tag; eligibility below sees the corrupted one.
+            tags = faults.corrupt_tags(tags, active)
 
         # Eligibility: target must be active; algorithms may restrict further.
         flat = active[graph.indices]
@@ -185,6 +251,13 @@ class VectorizedEngine:
         acceptors = np.flatnonzero(accepted >= 0)
         winners = accepted[acceptors]
 
+        if faults is not None and acceptors.size:
+            # Established connections drop before the payload exchange;
+            # connections_made counts only survivors.
+            keep = faults.connection_keep(acceptors.size)
+            if keep is not None:
+                acceptors, winners = acceptors[keep], winners[keep]
+
         if acceptors.size:
             self.connections_made += int(acceptors.size)
             self.algo.exchange(self.state, winners, acceptors)
@@ -197,14 +270,22 @@ class VectorizedEngine:
         self.algo.end_round(self.state, r, local_rounds, active)
 
     def run(self, max_rounds: int, *, check_every: int = 1) -> RunResult:
-        """Run until the algorithm's convergence predicate or ``max_rounds``."""
+        """Run until the algorithm's convergence predicate or ``max_rounds``.
+
+        With a fault plan, convergence checks are suppressed until the
+        plan's quiesce round (the last scheduled crash edge or corruption
+        event): transient events can make an absorbing predicate
+        momentarily true-then-false, so only post-quiesce agreement
+        certifies stabilization.
+        """
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
         last_activation = int(self.activation.max())
+        gate = self._faults.gate if self._faults is not None else 0
         for r in range(1, max_rounds + 1):
             self.step(r)
             self.rounds_executed = r
-            if r % check_every == 0 and self.algo.converged(self.state):
+            if r % check_every == 0 and r >= gate and self.algo.converged(self.state):
                 return RunResult(
                     stabilized=True,
                     rounds=r,

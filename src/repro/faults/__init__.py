@@ -1,0 +1,37 @@
+"""Declarative fault injection for all engine tiers.
+
+Compose a :class:`~repro.faults.plan.FaultPlan` out of crash schedules,
+connection drops, tag corruption, and state-corruption events, then hand
+it to any engine (``ReferenceEngine``, ``VectorizedEngine``,
+``BatchedVectorizedEngine``) via the ``fault_plan`` constructor argument;
+all three apply it at the same round hook points with
+distribution-identical behaviour.  See :mod:`repro.faults.plan` for the
+schema and the round-semantics contract, :mod:`repro.faults.apply` for
+the per-engine run-time applicators, and ``docs/model.md`` ("Faults and
+the paper model") for how each model relates to the paper.
+"""
+
+from repro.faults.apply import BatchedFaultState, SingleFaultState
+from repro.faults.plan import (
+    ConnectionDropModel,
+    CrashSchedule,
+    CrashWindow,
+    FaultPlan,
+    StateCorruptionEvent,
+    TagCorruptionModel,
+    example_plan,
+    random_crash_schedule,
+)
+
+__all__ = [
+    "CrashWindow",
+    "CrashSchedule",
+    "ConnectionDropModel",
+    "TagCorruptionModel",
+    "StateCorruptionEvent",
+    "FaultPlan",
+    "SingleFaultState",
+    "BatchedFaultState",
+    "random_crash_schedule",
+    "example_plan",
+]

@@ -1,0 +1,170 @@
+"""Run-time fault application (per-engine applicators).
+
+A :class:`~repro.faults.plan.FaultPlan` is pure data; these applicators
+hold the mutable run-time side — the fault RNG stream and the cached
+crash mask — and expose one method per engine hook point.  Two shapes:
+
+* :class:`SingleFaultState` — ``(n,)`` masks for the reference and
+  vectorized engines (both operate on one network);
+* :class:`BatchedFaultState` — ``(T, n)`` / flat masks for the batched
+  engine, vectorized over replicas to preserve the batch throughput.
+  Crash schedules are deterministic plan data shared by every replica
+  (exactly like activation rounds), so the up mask stays ``(n,)``;
+  probabilistic faults (drops, tag flips, corruption victims) draw
+  per-replica.
+
+Seeding hygiene: the fault stream must be handed in by the engine,
+derived from the engine's trial seed via :mod:`repro.util.rng` labels
+(``"faults"`` for single-network engines, ``"batched-faults"`` keyed on
+``seeds[0]`` and the replica count for the batched engine) — never a
+module-level RNG.  A separate stream means an engine built with a fault
+plan whose models never fire consumes *zero* draws from the algorithm
+streams, and the same plan + seed replays identically across
+``run_trials(processes=K)`` workers and the batched engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["SingleFaultState", "BatchedFaultState"]
+
+
+class _FaultStateBase:
+    """Shared crash-mask caching and schedule bookkeeping."""
+
+    def __init__(self, plan: FaultPlan, n: int, rng: np.random.Generator):
+        plan.validate_for(n)
+        self.plan = plan
+        self.n = n
+        self.rng = rng
+        #: First round from which convergence checks are meaningful.
+        self.gate = plan.quiesce_round
+        self._schedule = plan.crashes if plan.crashes and not plan.crashes.is_empty() else None
+        self._transitions = (
+            self._schedule.transition_rounds() if self._schedule else frozenset()
+        )
+        self._rejoins = self._schedule.rejoin_resets() if self._schedule else {}
+        self._events = {}
+        for e in plan.state_corruption:
+            self._events.setdefault(e.round, []).append(e)
+        drop = plan.connection_drop
+        self._drop_p = drop.p if drop is not None and not drop.is_empty() else None
+        flips = plan.tag_corruption
+        self._flip_q = flips.q if flips is not None and not flips.is_empty() else None
+        # Cached up mask; None while every node is up (engine fast path).
+        self._up: np.ndarray | None = None
+        self._up_round = 0
+
+    def up_mask(self, r: int) -> np.ndarray | None:
+        """``(n,)`` mask of non-crashed nodes, or ``None`` when all are up.
+
+        Recomputed only at window edges; between edges the cached mask is
+        reused (rounds must be visited in order, as engines do).
+        """
+        if self._schedule is None:
+            return None
+        if self._up_round == 0 or r in self._transitions:
+            down = self._schedule.down_at(r, self.n)
+            self._up = None if not down.any() else ~down
+        self._up_round = r
+        return self._up
+
+    def rejoin_resets(self, r: int) -> np.ndarray:
+        """Nodes whose state resets at the start of round ``r``."""
+        return np.asarray(self._rejoins.get(r, ()), dtype=np.int64)
+
+    def events_at(self, r: int):
+        """State-corruption events scheduled for the start of round ``r``."""
+        return self._events.get(r, ())
+
+    def connection_keep(self, count: int) -> np.ndarray | None:
+        """Survival mask for ``count`` established connections (or ``None``)."""
+        if self._drop_p is None or count == 0:
+            return None
+        return self.rng.random(count) >= self._drop_p
+
+    def _flip_bits(self, tags: np.ndarray, active: np.ndarray, bits: int) -> np.ndarray:
+        """Flip each advertised bit with probability ``q`` (in place).
+
+        One ``(shape)`` draw per bit regardless of activity, so the draw
+        count is shape-stable; flips land only on active nodes (inactive
+        entries may hold sentinels like the reference engine's ``-1``).
+        """
+        for bit in range(bits):
+            flip = (self.rng.random(tags.shape) < self._flip_q) & active
+            np.bitwise_xor(tags, 1 << bit, out=tags, where=flip)
+        return tags
+
+
+class SingleFaultState(_FaultStateBase):
+    """``(n,)``-shaped applicator for the reference and vectorized engines."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        n: int,
+        rng: np.random.Generator,
+        *,
+        tag_length: int = 0,
+    ):
+        super().__init__(plan, n, rng)
+        self.tag_length = int(tag_length)
+
+    def corruption_victims(self, r: int) -> list[np.ndarray]:
+        """One uniformly drawn victim set per event scheduled at ``r``."""
+        return [
+            self.rng.choice(self.n, size=e.victim_count(self.n), replace=False)
+            for e in self.events_at(r)
+        ]
+
+    def corrupt_tags(self, tags: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Apply tag bit flips in place (no-op for ``b = 0`` algorithms)."""
+        if self._flip_q is None or self.tag_length == 0:
+            return tags
+        return self._flip_bits(tags, active, self.tag_length)
+
+
+class BatchedFaultState(_FaultStateBase):
+    """``(T, n)``-shaped applicator for the batched engine.
+
+    Deterministic schedule faults (crashes) are shared ``(n,)`` masks;
+    probabilistic faults draw per replica so the ``T`` trials stay
+    mutually independent, exactly like the batched algorithm streams.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        n: int,
+        replicas: int,
+        rng: np.random.Generator,
+        *,
+        tag_length: int = 0,
+    ):
+        super().__init__(plan, n, rng)
+        self.replicas = int(replicas)
+        self.tag_length = int(tag_length)
+
+    def corruption_victims(self, r: int) -> list[np.ndarray]:
+        """One ``(T, k)`` victim array per event scheduled at ``r``.
+
+        Victims are i.i.d. uniform ``k``-subsets per replica (the argsort
+        of a random grid — same distribution as ``choice`` without
+        replacement, batched over replicas).
+        """
+        out = []
+        for e in self.events_at(r):
+            k = e.victim_count(self.n)
+            grid = self.rng.random((self.replicas, self.n))
+            out.append(np.argsort(grid, axis=1)[:, :k])
+        return out
+
+    def corrupt_tags(self, tags: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Apply per-replica tag bit flips in place (``(T, n)`` tags)."""
+        if self._flip_q is None or self.tag_length == 0:
+            return tags
+        # active is (n,): broadcasts across the replica axis.
+        return self._flip_bits(tags, active[None, :], self.tag_length)

@@ -1,0 +1,431 @@
+"""Declarative fault plans (schema layer).
+
+The mobile telephone model itself has no faults, but the paper's Section
+VIII algorithm is *self-stabilizing*, and the smartphone deployments
+motivating the model certainly do fail: phones crash and rejoin, Bluetooth
+connections drop mid-handshake, advertisements arrive garbled.  A
+:class:`FaultPlan` composes seeded fault models into one declarative
+object that every engine tier (reference, vectorized, batched) consumes
+uniformly:
+
+* :class:`CrashSchedule` — per-node crash/recover windows, including
+  permanent crashes and late rejoins with reset state;
+* :class:`ConnectionDropModel` — each established connection
+  independently fails with probability ``p`` *before* the payload
+  exchange (the proposal/acceptance handshake happened, the transfer
+  did not);
+* :class:`TagCorruptionModel` — each advertised tag bit independently
+  flips with probability ``q`` at the advertiser's radio (all observers
+  see the same corrupted tag; the advertiser's own logic uses its
+  intended tag);
+* :class:`StateCorruptionEvent` — at the start of round ``r``, a random
+  ``fraction`` of the nodes have their algorithm state overwritten with
+  arbitrary values (Section VIII's transient-corruption regime,
+  promoted from test-level code to a reusable primitive).
+
+Plans are pure data: deterministic, hashable, JSON round-trippable.  All
+randomness (which connection drops, which bits flip, who gets corrupted)
+is drawn at run time from a fault RNG stream derived from the engine's
+trial seed (see :mod:`repro.faults.apply`), so the same plan + seed
+replays identically across processes and engine tiers.
+
+Semantics shared by every engine (the four hook points of a round):
+
+1. **start of round** ``r``: rejoin resets for nodes whose first up
+   round is ``r``, then state-corruption events scheduled for ``r``;
+2. **activation mask**: crashed nodes are removed from the active set —
+   invisible to the scan, unable to propose, accept, or exchange (their
+   state is frozen while down);
+3. **tag advertisement**: tags flip bits per :class:`TagCorruptionModel`
+   after the sender decision, before target eligibility;
+4. **connection establishment → payload exchange**: accepted connections
+   are dropped i.i.d. with probability ``p`` before the exchange
+   (``connections_made`` counts only surviving connections).
+
+Engines suppress convergence checks until :attr:`FaultPlan.quiesce_round`
+(the last *scheduled* fault round) so that a plan's transient events
+cannot race an absorbing predicate; stationary models (drops, tag flips)
+do not gate convergence because they never un-converge absorbed state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "CrashWindow",
+    "CrashSchedule",
+    "ConnectionDropModel",
+    "TagCorruptionModel",
+    "StateCorruptionEvent",
+    "FaultPlan",
+    "random_crash_schedule",
+    "example_plan",
+]
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One node down for rounds ``start..end`` inclusive (1-indexed).
+
+    ``end=None`` is a permanent crash: the node never rejoins and its
+    state stays frozen at the pre-crash value.  With ``reset_on_rejoin``
+    (the default) the node rejoins at round ``end + 1`` with its state
+    reset to the initial value — a reboot that lost volatile state;
+    otherwise it resumes from the frozen pre-crash state.
+    """
+
+    node: int
+    start: int
+    end: int | None = None
+    reset_on_rejoin: bool = True
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+        if self.start < 1:
+            raise ValueError(f"start must be >= 1 (1-indexed), got {self.start}")
+        if self.end is not None and self.end < self.start:
+            raise ValueError(f"end {self.end} precedes start {self.start}")
+
+    def covers(self, r: int) -> bool:
+        """Whether the node is down in round ``r``."""
+        return self.start <= r and (self.end is None or r <= self.end)
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """A set of :class:`CrashWindow` entries (windows may overlap)."""
+
+    windows: tuple[CrashWindow, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "windows", tuple(self.windows))
+
+    def is_empty(self) -> bool:
+        return not self.windows
+
+    def max_node(self) -> int:
+        return max((w.node for w in self.windows), default=-1)
+
+    def down_at(self, r: int, n: int) -> np.ndarray:
+        """Boolean ``(n,)`` mask of nodes down in round ``r``."""
+        down = np.zeros(n, dtype=bool)
+        for w in self.windows:
+            if w.covers(r):
+                down[w.node] = True
+        return down
+
+    def transition_rounds(self) -> frozenset[int]:
+        """Rounds at which the down mask can change (window edges)."""
+        edges: set[int] = set()
+        for w in self.windows:
+            edges.add(w.start)
+            if w.end is not None:
+                edges.add(w.end + 1)
+        return frozenset(edges)
+
+    def rejoin_resets(self) -> dict[int, tuple[int, ...]]:
+        """``{round: nodes}`` whose state resets at the start of that round.
+
+        A node resets when a window with ``reset_on_rejoin`` ends at
+        ``round - 1`` and no other window still holds the node down at
+        ``round`` (overlapping windows delay the rejoin, and the reset
+        with it, until the node is actually back up).
+        """
+        out: dict[int, set[int]] = {}
+        for w in self.windows:
+            if w.end is None or not w.reset_on_rejoin:
+                continue
+            rejoin = w.end + 1
+            if any(o.covers(rejoin) for o in self.windows if o.node == w.node):
+                continue
+            out.setdefault(rejoin, set()).add(w.node)
+        return {r: tuple(sorted(nodes)) for r, nodes in out.items()}
+
+    def quiesce_round(self) -> int:
+        """Last scheduled transition (permanent crashes contribute ``start``)."""
+        q = 0
+        for w in self.windows:
+            q = max(q, w.start if w.end is None else w.end + 1)
+        return q
+
+
+@dataclass(frozen=True)
+class ConnectionDropModel:
+    """Each established connection independently fails with probability ``p``.
+
+    The drop happens after proposal/acceptance but before the payload
+    exchange — the handshake succeeded, the transfer did not — so a
+    dropped connection consumes the round without moving any state.
+    """
+
+    p: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.p < 1.0:
+            raise ValueError(f"drop probability must be in [0, 1), got {self.p}")
+
+    def is_empty(self) -> bool:
+        return self.p <= 0.0
+
+
+@dataclass(frozen=True)
+class TagCorruptionModel:
+    """Each advertised tag bit independently flips with probability ``q``.
+
+    Corruption happens at the advertiser's radio: every observer sees the
+    same corrupted tag, while the advertiser's own send/receive logic
+    uses the tag it intended.  ``b = 0`` algorithms advertise nothing,
+    so the model is a no-op for them.
+    """
+
+    q: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.q < 1.0:
+            raise ValueError(f"flip probability must be in [0, 1), got {self.q}")
+
+    def is_empty(self) -> bool:
+        return self.q <= 0.0
+
+
+@dataclass(frozen=True)
+class StateCorruptionEvent:
+    """At the start of round ``round``, corrupt a random node subset.
+
+    ``max(1, int(n * fraction))`` victims are drawn uniformly without
+    replacement (independently per replica in the batched engine) and
+    handed to the algorithm's ``corrupt_state`` hook, which overwrites
+    their state with arbitrary values and recomputes its convergence
+    target over the corrupted state — Section VIII's transient-fault
+    regime.
+    """
+
+    round: int
+    fraction: float
+
+    def __post_init__(self):
+        if self.round < 1:
+            raise ValueError(f"round must be >= 1 (1-indexed), got {self.round}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def victim_count(self, n: int) -> int:
+        return min(n, max(1, int(n * self.fraction)))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composition of fault models, consumed uniformly by every engine.
+
+    All fields are optional; an empty plan is behaviourally (and, after
+    engine normalization, bit-for-bit) identical to no plan at all.
+    """
+
+    crashes: CrashSchedule | None = None
+    connection_drop: ConnectionDropModel | None = None
+    tag_corruption: TagCorruptionModel | None = None
+    state_corruption: tuple[StateCorruptionEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "state_corruption", tuple(self.state_corruption))
+        if self.crashes is not None and not isinstance(self.crashes, CrashSchedule):
+            raise TypeError("crashes must be a CrashSchedule or None")
+
+    def is_empty(self) -> bool:
+        """Whether the plan can inject no fault at all."""
+        return (
+            (self.crashes is None or self.crashes.is_empty())
+            and (self.connection_drop is None or self.connection_drop.is_empty())
+            and (self.tag_corruption is None or self.tag_corruption.is_empty())
+            and not self.state_corruption
+        )
+
+    @property
+    def quiesce_round(self) -> int:
+        """First round from which convergence checks are meaningful.
+
+        The last *scheduled* fault round: crash-window edges and
+        corruption-event rounds.  Stationary probabilistic models (drops,
+        tag flips) contribute nothing — they cannot un-converge absorbed
+        state.  ``0`` means the plan never gates convergence.
+        """
+        q = self.crashes.quiesce_round() if self.crashes is not None else 0
+        for e in self.state_corruption:
+            q = max(q, e.round)
+        return q
+
+    def validate_for(self, n: int) -> None:
+        """Check node indices fit a network of ``n`` vertices."""
+        if self.crashes is not None and self.crashes.max_node() >= n:
+            raise ValueError(
+                f"crash schedule names node {self.crashes.max_node()} "
+                f"but the network has only {n} nodes"
+            )
+
+    # -- JSON round-trip -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        if self.crashes is not None and not self.crashes.is_empty():
+            out["crashes"] = [
+                {
+                    "node": w.node,
+                    "start": w.start,
+                    "end": w.end,
+                    "reset_on_rejoin": w.reset_on_rejoin,
+                }
+                for w in self.crashes.windows
+            ]
+        if self.connection_drop is not None and not self.connection_drop.is_empty():
+            out["connection_drop"] = {"p": self.connection_drop.p}
+        if self.tag_corruption is not None and not self.tag_corruption.is_empty():
+            out["tag_corruption"] = {"q": self.tag_corruption.q}
+        if self.state_corruption:
+            out["state_corruption"] = [
+                {"round": e.round, "fraction": e.fraction}
+                for e in self.state_corruption
+            ]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        known = {"crashes", "connection_drop", "tag_corruption", "state_corruption"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
+        crashes = None
+        if data.get("crashes"):
+            crashes = CrashSchedule(
+                tuple(
+                    CrashWindow(
+                        node=int(w["node"]),
+                        start=int(w["start"]),
+                        end=None if w.get("end") is None else int(w["end"]),
+                        reset_on_rejoin=bool(w.get("reset_on_rejoin", True)),
+                    )
+                    for w in data["crashes"]
+                )
+            )
+        drop = None
+        if data.get("connection_drop"):
+            drop = ConnectionDropModel(p=float(data["connection_drop"]["p"]))
+        tags = None
+        if data.get("tag_corruption"):
+            tags = TagCorruptionModel(q=float(data["tag_corruption"]["q"]))
+        events = tuple(
+            StateCorruptionEvent(round=int(e["round"]), fraction=float(e["fraction"]))
+            for e in data.get("state_corruption", [])
+        )
+        return cls(
+            crashes=crashes,
+            connection_drop=drop,
+            tag_corruption=tags,
+            state_corruption=events,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+    def to_file(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary (CLI ``faults describe``)."""
+        if self.is_empty():
+            return "empty plan (no faults)"
+        parts = []
+        if self.crashes is not None and not self.crashes.is_empty():
+            perm = sum(1 for w in self.crashes.windows if w.end is None)
+            parts.append(
+                f"{len(self.crashes.windows)} crash window(s)"
+                + (f" ({perm} permanent)" if perm else "")
+            )
+        if self.connection_drop is not None and not self.connection_drop.is_empty():
+            parts.append(f"connection drop p={self.connection_drop.p}")
+        if self.tag_corruption is not None and not self.tag_corruption.is_empty():
+            parts.append(f"tag bit-flip q={self.tag_corruption.q}")
+        if self.state_corruption:
+            rounds = ", ".join(
+                f"{e.fraction:.0%} at round {e.round}" for e in self.state_corruption
+            )
+            parts.append(f"state corruption: {rounds}")
+        return "; ".join(parts) + f"; quiesce round {self.quiesce_round}"
+
+
+def random_crash_schedule(
+    n: int,
+    count: int,
+    *,
+    first_round: int,
+    last_round: int,
+    seed: int,
+    min_len: int = 2,
+    max_len: int | None = None,
+    reset_on_rejoin: bool = True,
+) -> CrashSchedule:
+    """A seeded schedule of ``count`` distinct nodes crashing once each.
+
+    Every window starts in ``[first_round, last_round]`` and ends by
+    ``last_round`` (all nodes rejoin — the convergence-friendly regime
+    experiment R3 sweeps).  The schedule is plan-level data: the *same*
+    windows apply to every trial, while run-time fault randomness stays
+    per-trial-seed.
+    """
+    if not 0 <= count <= n:
+        raise ValueError(f"count must be in [0, {n}], got {count}")
+    if first_round < 1 or last_round < first_round:
+        raise ValueError("need 1 <= first_round <= last_round")
+    max_len = max_len or max(min_len, (last_round - first_round) // 2)
+    if min_len < 1 or max_len < min_len:
+        raise ValueError("need 1 <= min_len <= max_len")
+    rng = make_rng(seed, "crash-schedule")
+    nodes = rng.choice(n, size=count, replace=False)
+    windows = []
+    for node in nodes:
+        length = int(rng.integers(min_len, max_len + 1))
+        start_hi = max(first_round, last_round - length + 1)
+        start = int(rng.integers(first_round, start_hi + 1))
+        end = min(start + length - 1, last_round)
+        windows.append(
+            CrashWindow(
+                node=int(node), start=start, end=end, reset_on_rejoin=reset_on_rejoin
+            )
+        )
+    return CrashSchedule(tuple(windows))
+
+
+def example_plan() -> FaultPlan:
+    """The template emitted by ``repro faults template``.
+
+    Every window here ends (set ``"end": null`` for a permanent crash —
+    but note a permanently crashed node freezes its state, so the
+    standard all-nodes convergence predicate may then never fire).
+    """
+    return FaultPlan(
+        crashes=CrashSchedule(
+            (
+                CrashWindow(node=3, start=10, end=50, reset_on_rejoin=True),
+                CrashWindow(node=7, start=25, end=80, reset_on_rejoin=False),
+            )
+        ),
+        connection_drop=ConnectionDropModel(p=0.2),
+        tag_corruption=TagCorruptionModel(q=0.01),
+        state_corruption=(StateCorruptionEvent(round=30, fraction=1 / 3),),
+    )

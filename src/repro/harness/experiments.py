@@ -28,7 +28,7 @@ from repro.algorithms.bit_convergence import (
     draw_id_tags,
 )
 from repro.algorithms.blind_gossip import BlindGossipBatched, BlindGossipVectorized
-from repro.algorithms.ppush import PPushVectorized
+from repro.algorithms.ppush import PPushBatched, PPushVectorized
 from repro.algorithms.push_pull import PushPullBatched, PushPullVectorized
 from repro.analysis import bounds
 from repro.analysis.expansion import vertex_expansion, vertex_expansion_exact
@@ -36,6 +36,12 @@ from repro.analysis.matching import gamma_exact
 from repro.analysis.statistics import loglog_slope, summarize
 from repro.core.classical import classical_push_pull_rumor
 from repro.core.vectorized import VectorizedEngine
+from repro.faults import (
+    ConnectionDropModel,
+    FaultPlan,
+    StateCorruptionEvent,
+    random_crash_schedule,
+)
 from repro.graphs import families
 from repro.graphs.dynamic import (
     DynamicGraph,
@@ -106,9 +112,15 @@ def _median_rounds(build, *, trials: int, max_rounds: int, seed: int) -> float:
     return trial_summary(outcomes).median
 
 
-def _median_rounds_batched(build_batched, *, trials: int, max_rounds: int, seed: int) -> float:
+def _median_rounds_batched(
+    build_batched, *, trials: int, max_rounds: int, seed: int, fault_plan=None
+) -> float:
     outcomes = run_trials_batched(
-        build_batched, trials=trials, max_rounds=max_rounds, seed=seed
+        build_batched,
+        trials=trials,
+        max_rounds=max_rounds,
+        seed=seed,
+        fault_plan=fault_plan,
     )
     return trial_summary(outcomes).median
 
@@ -1845,6 +1857,312 @@ def exp_ablation_push_pull_direction(
 
 
 # ---------------------------------------------------------------------------
+# R1 — fault extension: connection drops inflate stabilization by ~1/(1-p)
+# ---------------------------------------------------------------------------
+
+
+def _fault_outcomes(
+    build,
+    build_batched,
+    *,
+    engine: str,
+    trials: int,
+    max_rounds: int,
+    seed: int,
+    fault_plan: FaultPlan | None,
+):
+    """Run one faulted configuration on the chosen engine tier.
+
+    ``build(trial_seed, fault_plan)`` makes a single engine;
+    ``build_batched(seeds)`` returns the batch's (graph, algorithm) pair
+    — the plan itself is forwarded through the batched runner.
+    """
+    if engine == "batched":
+        return run_trials_batched(
+            build_batched,
+            trials=trials,
+            max_rounds=max_rounds,
+            seed=seed,
+            fault_plan=fault_plan,
+        )
+    return run_trials(
+        lambda ts: build(ts, fault_plan),
+        trials=trials,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+
+
+def exp_fault_drop_inflation(
+    *,
+    leaves: int = 16,
+    drop_ps: Sequence[float] = (0.0, 0.3, 0.6),
+    trials: int = 10,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+    engine: str = "single",
+) -> Table:
+    """Connection drops rescale progress by the survival rate ``1 - p``.
+
+    Both blind gossip (leader election, b=0) and PPUSH (rumor spreading,
+    b=1) advance only through completed payload exchanges.  Dropping each
+    established connection i.i.d. with probability ``p`` *after* the
+    handshake leaves the proposal/acceptance dynamics untouched and thins
+    the productive-connection rate by ``1 - p``, so stabilization should
+    inflate by roughly ``1/(1-p)`` for both algorithms — a fault model
+    sanity check that the drop hook sits after acceptance, not before.
+    """
+    engine = _check_engine(engine)
+    base = families.double_star(leaves)
+    n = base.n
+    keys = uid_keys_random(n, seed)
+    sources = np.array([0])
+    table = Table(
+        title="R1 (fault ext): connection-drop inflation on the double star",
+        columns=[
+            "drop p",
+            "gossip median",
+            "gossip inflation",
+            "PPUSH median",
+            "PPUSH inflation",
+            "1/(1-p)",
+        ],
+        notes=[
+            "Claim: dropping established connections i.i.d. with probability p "
+            "(after acceptance, before the payload exchange) inflates "
+            "stabilization by ~1/(1-p) for both blind gossip and PPUSH.",
+            f"Workload: double star with {leaves} leaves per center "
+            f"(n={n}), static topology.",
+        ],
+    )
+
+    def build_gossip(ts: int, plan: FaultPlan | None) -> VectorizedEngine:
+        return VectorizedEngine(
+            StaticDynamicGraph(base), BlindGossipVectorized(keys), seed=ts,
+            fault_plan=plan,
+        )
+
+    def build_gossip_b(seeds):
+        return StaticDynamicGraph(base), BlindGossipBatched(keys)
+
+    def build_ppush(ts: int, plan: FaultPlan | None) -> VectorizedEngine:
+        return VectorizedEngine(
+            StaticDynamicGraph(base), PPushVectorized(sources), seed=ts,
+            fault_plan=plan,
+        )
+
+    def build_ppush_b(seeds):
+        return StaticDynamicGraph(base), PPushBatched(sources)
+
+    base_g = base_p = None
+    for p in drop_ps:
+        plan = FaultPlan(connection_drop=ConnectionDropModel(float(p)))
+        med_g = trial_summary(
+            _fault_outcomes(
+                build_gossip, build_gossip_b, engine=engine, trials=trials,
+                max_rounds=max_rounds, seed=seed, fault_plan=plan,
+            )
+        ).median
+        med_p = trial_summary(
+            _fault_outcomes(
+                build_ppush, build_ppush_b, engine=engine, trials=trials,
+                max_rounds=max_rounds, seed=seed + 1, fault_plan=plan,
+            )
+        ).median
+        if base_g is None:
+            base_g, base_p = med_g, med_p
+        table.add_row(
+            float(p),
+            med_g,
+            med_g / max(base_g, 1e-9),
+            med_p,
+            med_p / max(base_p, 1e-9),
+            1.0 / (1.0 - float(p)),
+        )
+    table.notes.append(
+        "Inflation columns are medians relative to the p=0 row; both should "
+        "track 1/(1-p) within trial noise."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# R2 — Section VIII regime: recovery from mass state corruption
+# ---------------------------------------------------------------------------
+
+
+def exp_fault_state_corruption(
+    *,
+    n: int = 32,
+    degree: int = 4,
+    fractions: Sequence[float] = (1 / 3, 2 / 3, 1.0),
+    trials: int = 10,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+    engine: str = "single",
+) -> Table:
+    """Corrupt a converged network and measure time back to agreement.
+
+    Section VIII's transient-fault regime: after the network stabilizes,
+    an adversary overwrites a random fraction of the nodes' state with
+    arbitrary values.  A self-stabilizing min-propagation process should
+    recover in about one fresh stabilization time regardless of the
+    corrupted fraction — corrupting *everyone* is exactly a fresh start
+    with a new key assignment.
+    """
+    engine = _check_engine(engine)
+    g = families.random_regular(n, degree, seed=seed + n)
+    keys = uid_keys_random(n, seed)
+
+    def build(ts: int, plan: FaultPlan | None) -> VectorizedEngine:
+        return VectorizedEngine(
+            StaticDynamicGraph(g), BlindGossipVectorized(keys), seed=ts,
+            fault_plan=plan,
+        )
+
+    def build_b(seeds):
+        return StaticDynamicGraph(g), BlindGossipBatched(keys)
+
+    fresh = trial_summary(
+        _fault_outcomes(
+            build, build_b, engine=engine, trials=trials,
+            max_rounds=max_rounds, seed=seed, fault_plan=None,
+        )
+    ).median
+    # Corrupt well after every trial has certainly converged.
+    event_round = int(8 * max(fresh, 1.0))
+
+    table = Table(
+        title="R2 (Sec VIII): recovery after mass state corruption, blind gossip",
+        columns=["fraction", "recovery median", "recovery / fresh"],
+        notes=[
+            "Claim: overwriting a random fraction of node state with arbitrary "
+            "values costs about one fresh stabilization time to repair, for "
+            "any fraction (fraction 1.0 is a fresh start).",
+            f"Workload: static {degree}-regular graph, n={n}; corruption "
+            f"event at round {event_round} (fresh median: {fresh:.0f} rounds).",
+        ],
+    )
+    for f in fractions:
+        plan = FaultPlan(
+            state_corruption=(
+                StateCorruptionEvent(round=event_round, fraction=float(f)),
+            )
+        )
+        outcomes = _fault_outcomes(
+            build, build_b, engine=engine, trials=trials,
+            max_rounds=max_rounds, seed=seed, fault_plan=plan,
+        )
+        recoveries = [
+            max(0, o.rounds - event_round) for o in outcomes if o.stabilized
+        ]
+        if len(recoveries) != len(outcomes):
+            raise RuntimeError("corrupted trials failed to restabilize")
+        rec = float(np.median(recoveries))
+        table.add_row(float(f), rec, rec / max(fresh, 1e-9))
+    table.notes.append(
+        "Recovery = stabilization round - corruption round; the ratio column "
+        "should stay near 1 across fractions (same order as a fresh run)."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# R3 — fault extension: stabilization survives crash/rejoin churn
+# ---------------------------------------------------------------------------
+
+
+def exp_fault_crash_churn(
+    *,
+    n: int = 32,
+    degree: int = 4,
+    crash_fracs: Sequence[float] = (0.0, 0.25, 0.5),
+    trials: int = 10,
+    seed: int = 0,
+    max_rounds: int = 400_000,
+    engine: str = "single",
+) -> Table:
+    """Crash/rejoin churn during convergence delays but never derails.
+
+    A seeded schedule crashes a fraction of the nodes for a window of
+    rounds during the convergence phase; every node rejoins with reset
+    (rebooted) state.  Because reset state is each node's own initial
+    state, the eventual winner is unchanged, and stabilization should
+    complete within a small factor of the clean run once the last node
+    has rejoined (the plan's quiesce round).
+    """
+    engine = _check_engine(engine)
+    g = families.random_regular(n, degree, seed=seed + n)
+    keys = uid_keys_random(n, seed)
+
+    def build(ts: int, plan: FaultPlan | None) -> VectorizedEngine:
+        return VectorizedEngine(
+            StaticDynamicGraph(g), BlindGossipVectorized(keys), seed=ts,
+            fault_plan=plan,
+        )
+
+    def build_b(seeds):
+        return StaticDynamicGraph(g), BlindGossipBatched(keys)
+
+    clean = trial_summary(
+        _fault_outcomes(
+            build, build_b, engine=engine, trials=trials,
+            max_rounds=max_rounds, seed=seed, fault_plan=None,
+        )
+    ).median
+    # Crash windows land inside the convergence phase of the clean run.
+    last_round = max(6, int(clean))
+
+    table = Table(
+        title="R3 (fault ext): crash/rejoin churn during convergence, blind gossip",
+        columns=[
+            "crash fraction",
+            "crashed nodes",
+            "quiesce round",
+            "median rounds",
+            "recovery after quiesce",
+        ],
+        notes=[
+            "Claim: crashing a fraction of the nodes mid-convergence (all "
+            "rejoin with reset state) delays stabilization but never changes "
+            "the winner or prevents agreement.",
+            f"Workload: static {degree}-regular graph, n={n}; crash windows "
+            f"scheduled in rounds [2, {last_round}] "
+            f"(clean median: {clean:.0f} rounds).",
+        ],
+    )
+    for frac in crash_fracs:
+        count = int(round(n * float(frac)))
+        if count == 0:
+            plan = None
+            quiesce = 0
+        else:
+            plan = FaultPlan(
+                crashes=random_crash_schedule(
+                    n, count, first_round=2, last_round=last_round,
+                    seed=seed + 17,
+                )
+            )
+            quiesce = plan.quiesce_round
+        outcomes = _fault_outcomes(
+            build, build_b, engine=engine, trials=trials,
+            max_rounds=max_rounds, seed=seed, fault_plan=plan,
+        )
+        if not all(o.stabilized for o in outcomes):
+            raise RuntimeError("churned trials failed to stabilize")
+        med = trial_summary(outcomes).median
+        recovery = float(
+            np.median([max(0, o.rounds - quiesce) for o in outcomes])
+        )
+        table.add_row(float(frac), count, quiesce, med, recovery)
+    table.notes.append(
+        "Recovery after quiesce = stabilization round - last rejoin; it "
+        "should stay within a small factor of the clean median."
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -2032,6 +2350,35 @@ EXPERIMENTS: dict[str, Experiment] = {
             exp_ablation_push_pull_direction,
             quick=dict(leaves=8, regular_n=16, degree=4, trials=5),
             standard=dict(leaves=32, regular_n=64, degree=8, trials=12),
+        ),
+        Experiment(
+            "R1",
+            "Fault extension: connection drops inflate stabilization ~1/(1-p)",
+            exp_fault_drop_inflation,
+            quick=dict(leaves=8, drop_ps=(0.0, 0.5), trials=5),
+            standard=dict(
+                leaves=16, drop_ps=(0.0, 0.3, 0.6), trials=20, engine="batched"
+            ),
+        ),
+        Experiment(
+            "R2",
+            "Sec VIII regime: recovery from mass state corruption ~ fresh run",
+            exp_fault_state_corruption,
+            quick=dict(n=16, degree=4, fractions=(0.5, 1.0), trials=5),
+            standard=dict(
+                n=32, degree=4, fractions=(1 / 3, 2 / 3, 1.0), trials=20,
+                engine="batched",
+            ),
+        ),
+        Experiment(
+            "R3",
+            "Fault extension: stabilization survives crash/rejoin churn",
+            exp_fault_crash_churn,
+            quick=dict(n=16, degree=4, crash_fracs=(0.0, 0.25), trials=5),
+            standard=dict(
+                n=32, degree=4, crash_fracs=(0.0, 0.25, 0.5), trials=16,
+                engine="batched",
+            ),
         ),
     ]
 }

@@ -195,6 +195,7 @@ def run_trials_batched(
     seed: int = 0,
     check_every: int = 1,
     activation_rounds: Sequence[int] | np.ndarray | None = None,
+    fault_plan=None,
 ) -> list[TrialOutcome]:
     """Run all ``trials`` of one configuration as a single batched engine.
 
@@ -221,6 +222,10 @@ def run_trials_batched(
         so outcome lists from the two runners describe the same trials.
     activation_rounds
         Optional shared activation schedule forwarded to the engine.
+    fault_plan
+        Optional :class:`~repro.faults.plan.FaultPlan` forwarded to the
+        engine (the single-engine runner instead expects builders to
+        embed the plan in the engines they construct).
 
     Returns
     -------
@@ -235,7 +240,11 @@ def run_trials_batched(
     seeds = trial_seeds_for(seed, trials)
     dynamic_graph, algorithm = build_batched(seeds)
     engine = BatchedVectorizedEngine(
-        dynamic_graph, algorithm, seeds=seeds, activation_rounds=activation_rounds
+        dynamic_graph,
+        algorithm,
+        seeds=seeds,
+        activation_rounds=activation_rounds,
+        fault_plan=fault_plan,
     )
     result = engine.run(max_rounds, check_every=check_every)
     return [

@@ -262,6 +262,76 @@ def _verify_a2(table: Table) -> list[CheckResult]:
     ]
 
 
+def _verify_r1(table: Table) -> list[CheckResult]:
+    ps = table.column("drop p")
+    med_g = table.column("gossip median")
+    med_p = table.column("PPUSH median")
+    predicted = table.column("1/(1-p)")
+    monotone = all(
+        b >= 0.9 * a for a, b in zip(med_g, med_g[1:])
+    ) and all(b >= 0.9 * a for a, b in zip(med_p, med_p[1:]))
+    in_band = True
+    for i, p in enumerate(ps):
+        if p <= 0:
+            continue
+        for col in (table.column("gossip inflation"), table.column("PPUSH inflation")):
+            if not 0.4 * predicted[i] <= col[i] <= 2.5 * predicted[i]:
+                in_band = False
+    return [
+        _check(
+            "stabilization inflates with drop p",
+            monotone,
+            f"gossip {med_g}, PPUSH {med_p}",
+        ),
+        _check(
+            "inflation tracks 1/(1-p) within [0.4x, 2.5x]",
+            in_band,
+            f"predicted {predicted}",
+        ),
+    ]
+
+
+def _verify_r2(table: Table) -> list[CheckResult]:
+    fractions = table.column("fraction")
+    ratios = table.column("recovery / fresh")
+    bounded = all(r < 3 for r in ratios)
+    full = [r for f, r in zip(fractions, ratios) if f >= 1.0]
+    full_ok = all(0.25 < r < 3 for r in full) if full else True
+    return [
+        _check(
+            "recovery within 3x of a fresh run for every fraction",
+            bounded,
+            str(ratios),
+        ),
+        _check(
+            "full corruption behaves like a fresh start",
+            full_ok,
+            f"fraction-1.0 ratio(s): {full}",
+        ),
+    ]
+
+
+def _verify_r3(table: Table) -> list[CheckResult]:
+    fracs = table.column("crash fraction")
+    meds = table.column("median rounds")
+    recov = table.column("recovery after quiesce")
+    clean = next(m for f, m in zip(fracs, meds) if f == 0)
+    survived = all(m > 0 for m in meds)
+    ok = all(r <= 5 * max(clean, 1.0) for r in recov)
+    return [
+        _check(
+            "every crash level still stabilizes",
+            survived,
+            f"medians {meds}",
+        ),
+        _check(
+            "post-quiesce recovery within 5x of the clean run",
+            ok,
+            f"recoveries {recov} vs clean {clean}",
+        ),
+    ]
+
+
 def _verify_a3(table: Table) -> list[CheckResult]:
     rows = {row[0]: (row[1], row[2]) for row in table.rows}
     both = rows["both"]
@@ -294,6 +364,9 @@ VERIFIERS: dict[str, Callable[[Table], list[CheckResult]]] = {
     "A1": _verify_a1,
     "A2": _verify_a2,
     "A3": _verify_a3,
+    "R1": _verify_r1,
+    "R2": _verify_r2,
+    "R3": _verify_r3,
 }
 
 

@@ -25,8 +25,19 @@ from repro.algorithms.bit_convergence import (
 from repro.algorithms.blind_gossip import BlindGossipBatched, BlindGossipVectorized
 from repro.algorithms.ppush import PPushBatched, PPushVectorized
 from repro.algorithms.push_pull import PushPullBatched, PushPullVectorized
+from repro.algorithms.blind_gossip import make_blind_gossip_nodes
 from repro.core.batched import BatchedVectorizedEngine
+from repro.core.engine import ReferenceEngine
+from repro.core.monitor import all_leaders_are
+from repro.core.payload import UIDSpace
 from repro.core.vectorized import VectorizedEngine
+from repro.faults import (
+    ConnectionDropModel,
+    CrashSchedule,
+    CrashWindow,
+    FaultPlan,
+    StateCorruptionEvent,
+)
 from repro.graphs import families
 from repro.graphs.dynamic import PeriodicRelabelDynamicGraph, StaticDynamicGraph
 from repro.harness.runner import run_trials, run_trials_batched, trial_seeds_for
@@ -394,6 +405,86 @@ class TestChurnBatchedEquivalence:
         )
         assert all(o.stabilized for o in batched)
         assert all(o.stabilized for o in single)
+        ratio = median_ratio(
+            [o.rounds for o in batched], [o.rounds for o in single]
+        )
+        assert 0.5 < ratio < 2.0
+
+
+class TestFaultPlanCrossEngine:
+    """Same FaultPlan across tiers: round distributions must agree.
+
+    Fault randomness draws from per-tier fault streams, so executions are
+    not trace-identical; but a semantic divergence in hook placement
+    (corruption before vs after the sender decision, drops after vs
+    before the exchange, the crash mask missing the active set) shifts
+    the rounds-to-stabilize distributions far outside the band.
+    """
+
+    def test_reference_vs_batched_under_crash_and_drop(self):
+        graph = families.random_regular(16, 4, seed=0)
+        dg = StaticDynamicGraph(graph)
+        keys = keys_for(graph.n)
+        plan = FaultPlan(
+            crashes=CrashSchedule(
+                (
+                    CrashWindow(node=3, start=4, end=14),
+                    CrashWindow(node=9, start=6, end=18),
+                )
+            ),
+            connection_drop=ConnectionDropModel(p=0.4),
+        )
+
+        batched = run_trials_batched(
+            lambda seeds: (dg, BlindGossipBatched(keys)),
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            seed=21,
+            fault_plan=plan,
+        )
+        ref_rounds = []
+        for t in range(TRIALS):
+            us = UIDSpace(graph.n, seed=100 + t)
+            nodes = make_blind_gossip_nodes(us)
+            eng = ReferenceEngine(dg, nodes, seed=t, fault_plan=plan)
+            res = eng.run(MAX_ROUNDS, all_leaders_are(us.min_uid()))
+            assert res.stabilized
+            ref_rounds.append(res.rounds)
+
+        assert all(o.stabilized for o in batched)
+        # Both tiers gate verdicts until the plan quiesces.
+        assert all(o.rounds >= plan.quiesce_round for o in batched)
+        assert all(r >= plan.quiesce_round for r in ref_rounds)
+        ratio = median_ratio([o.rounds for o in batched], ref_rounds)
+        assert 0.5 < ratio < 2.0
+
+    def test_vectorized_vs_batched_under_corruption_and_drop(self):
+        graph = families.random_regular(16, 4, seed=0)
+        dg = StaticDynamicGraph(graph)
+        keys = keys_for(graph.n)
+        plan = FaultPlan(
+            connection_drop=ConnectionDropModel(p=0.3),
+            state_corruption=(StateCorruptionEvent(round=12, fraction=0.5),),
+        )
+
+        batched = run_trials_batched(
+            lambda seeds: (dg, BlindGossipBatched(keys)),
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            seed=22,
+            fault_plan=plan,
+        )
+        single = run_trials(
+            lambda ts: VectorizedEngine(
+                dg, BlindGossipVectorized(keys), seed=ts, fault_plan=plan
+            ),
+            trials=TRIALS,
+            max_rounds=MAX_ROUNDS,
+            seed=22,
+        )
+        assert all(o.stabilized for o in batched)
+        assert all(o.stabilized for o in single)
+        assert [o.seed for o in batched] == [o.seed for o in single]
         ratio = median_ratio(
             [o.rounds for o in batched], [o.rounds for o in single]
         )

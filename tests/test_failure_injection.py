@@ -7,6 +7,14 @@ arbitrary corruption of nodes' smallest-ID-pair state, late activations,
 adversarial merges — and assert the executions still stabilize, to the
 minimum over the *post-corruption* state (the semilattice the algorithms
 compute over).
+
+Corruption is injected declaratively through
+:class:`~repro.faults.plan.StateCorruptionEvent` (the engines call the
+algorithm's ``corrupt_state`` hook at the scheduled round and gate
+convergence checks past it); only the duplicate-tag deadlock test still
+mutates state by hand, because it needs a *specific* adversarial
+corruption — a duplicated minimum tag — that the uniform fault model
+deliberately avoids.
 """
 
 from __future__ import annotations
@@ -15,9 +23,10 @@ import numpy as np
 import pytest
 
 from repro.algorithms.async_bit_convergence import AsyncBitConvergenceVectorized
-from repro.algorithms.bit_convergence import BitConvergenceConfig, draw_id_tags
+from repro.algorithms.bit_convergence import BitConvergenceConfig
 from repro.algorithms.blind_gossip import BlindGossipVectorized
 from repro.core.vectorized import VectorizedEngine
+from repro.faults import FaultPlan, StateCorruptionEvent
 from repro.graphs import families
 from repro.graphs.dynamic import StaticDynamicGraph
 from repro.harness.experiments import uid_keys_random
@@ -30,61 +39,49 @@ class TestBlindGossipCorruption:
         n = 16
         keys = uid_keys_random(n, 0)
         algo = BlindGossipVectorized(keys)
-        eng = VectorizedEngine(
-            StaticDynamicGraph(families.random_regular(n, 4, seed=0)), algo, seed=1
+        # Transient fault: a third of the nodes get arbitrary values at
+        # round 30; the semilattice target becomes the post-corruption min.
+        plan = FaultPlan(
+            state_corruption=(StateCorruptionEvent(round=30, fraction=1 / 3),)
         )
-        rng = np.random.default_rng(2)
-        for r in range(1, 30):
-            eng.step(r)
-        # Transient fault: a third of the nodes get arbitrary values.
-        victims = rng.choice(n, size=n // 3, replace=False)
-        eng.state.best[victims] = rng.integers(0, 10 * n, size=victims.size)
-        # The semilattice target is now the min over the corrupted state.
-        eng.state.target = int(eng.state.best.min())
-        for r in range(30, 50_000):
-            eng.step(r)
-            if algo.converged(eng.state):
-                break
+        eng = VectorizedEngine(
+            StaticDynamicGraph(families.random_regular(n, 4, seed=0)),
+            algo,
+            seed=1,
+            fault_plan=plan,
+        )
+        res = eng.run(50_000)
+        assert res.stabilized
+        assert res.rounds >= 30  # verdicts are gated past the event
         assert algo.converged(eng.state)
         assert (eng.state.best == eng.state.target).all()
 
 
 class TestAsyncBitConvergenceCorruption:
     def _corrupted_run(self, seed, corrupt_fraction=0.3):
+        """Corrupt victims to arbitrary (tag, key) pairs at round 40 — as
+        if they rebooted with stale or garbage state.  The algorithm's
+        ``corrupt_state`` hook keeps replacement tags distinct from every
+        tag in the network: a duplicated *minimum* tag is the documented
+        collision deadlock (covered by its own test below), not a
+        recoverable fault."""
         n = 16
         cfg = BitConvergenceConfig(n_upper=n, delta_bound=4, beta=1.0)
         keys = uid_keys_random(n, seed)
         algo = AsyncBitConvergenceVectorized(keys, cfg, tag_seed=seed, unique_tags=True)
+        plan = FaultPlan(
+            state_corruption=(
+                StateCorruptionEvent(round=40, fraction=corrupt_fraction),
+            )
+        )
         eng = VectorizedEngine(
             StaticDynamicGraph(families.random_regular(n, 4, seed=seed)),
             algo,
             seed=seed,
+            fault_plan=plan,
         )
-        rng = np.random.default_rng(seed + 99)
-        for r in range(1, 40):
-            eng.step(r)
-        # Corrupt: victims hold arbitrary (tag, key) pairs — as if they
-        # rebooted with stale or garbage state.  Replacement tags are kept
-        # distinct from every tag in the network: a duplicated *minimum*
-        # tag is the documented collision deadlock (covered by its own
-        # test below), not a recoverable fault.
-        k = cfg.k
-        victims = rng.choice(n, size=max(1, int(n * corrupt_fraction)), replace=False)
-        survivors = np.setdiff1d(np.arange(n), victims)
-        taken = set(eng.state.ctag[survivors].tolist())
-        fresh = [t for t in rng.permutation(1 << k) if t not in taken][: victims.size]
-        assert len(fresh) == victims.size
-        eng.state.ctag[victims] = np.asarray(fresh, dtype=np.int64)
-        eng.state.ckey[victims] = rng.integers(0, 10 * n, size=victims.size)
-        # Self-stabilization target: min pair over the corrupted state.
-        order = np.lexsort((eng.state.ckey, eng.state.ctag))
-        eng.state.target_tag = int(eng.state.ctag[order[0]])
-        eng.state.target_key = int(eng.state.ckey[order[0]])
-        for r in range(40, 500_000):
-            eng.step(r)
-            if algo.converged(eng.state):
-                return True, eng
-        return False, eng
+        res = eng.run(500_000)
+        return res.stabilized, eng
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_recovers_from_pair_corruption(self, seed):

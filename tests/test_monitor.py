@@ -58,6 +58,10 @@ class TestLeaderPredicates:
         assert all_leaders_equal([FakeLeaderNode(UID(3)), FakeLeaderNode(UID(3))])
         assert not all_leaders_equal([FakeLeaderNode(UID(3)), FakeLeaderNode(UID(4))])
 
+    def test_all_leaders_equal_vacuous_on_empty(self):
+        # Regression: this used to raise IndexError on protocols[0].
+        assert all_leaders_equal([])
+
     def test_agreement_on_wrong_uid_not_stabilized(self):
         # Transient agreement on a non-winner must not satisfy the
         # absorbing predicate.
