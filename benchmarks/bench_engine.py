@@ -181,7 +181,7 @@ def test_batched_random_pick(benchmark):
 # compare two workloads) and they must run under plain pytest in CI (the
 # ``--benchmark-only`` pass skips them).  Run them with::
 #
-#     pytest benchmarks/bench_engine.py -k "churn or fault"
+#     pytest benchmarks/bench_engine.py -k "churn or fault or campaign"
 #
 # Passing runs append one trajectory record to ``BENCH_engine.json`` at the
 # repo root; ``benchmarks/check_engine_regression.py`` gates CI on the
@@ -370,6 +370,52 @@ def test_fault_empty_plan_overhead():
     assert overhead <= EMPTY_PLAN_OVERHEAD_MAX, (
         f"empty-FaultPlan rounds cost {overhead:.3f}x the faultless rounds "
         f"(target <= {EMPTY_PLAN_OVERHEAD_MAX}x)"
+    )
+
+
+#: Max tolerated wall-time ratio of a checkpointed campaign over a raw loop.
+CAMPAIGN_CHECKPOINT_OVERHEAD_MAX = 1.05
+
+
+def test_campaign_checkpoint_overhead():
+    """A durable campaign costs ≤5% over a raw ``run_experiment`` loop.
+
+    Same cells, same profile; the campaign additionally writes one
+    atomic, fsynced, content-hashed checkpoint per cell.  The checkpoint
+    cost is per-cell constant, so the quick E1+A3 pair (fractions of a
+    second of real compute) is the *unfavourable* case — a standard
+    campaign amortizes the same bytes over minutes of compute.
+    """
+    import tempfile
+
+    from repro.harness.campaign import CampaignConfig, run_campaign
+    from repro.harness.experiments import run_experiment
+
+    cells = ("E1", "A3")
+
+    def raw():
+        for exp_id in cells:
+            run_experiment(exp_id, "quick")
+
+    def campaign():
+        with tempfile.TemporaryDirectory() as d:
+            report = run_campaign(
+                CampaignConfig(checkpoint_dir=d, exp_ids=cells, verify=False)
+            )
+            assert report.ok
+
+    # Paired passes, min ratio: the same noise-filtering rationale as
+    # the empty-plan overhead gate above.
+    ratios = []
+    for _ in range(3):
+        raw_s = _timed(raw, repeats=3)
+        campaign_s = _timed(campaign, repeats=3)
+        ratios.append(campaign_s / raw_s)
+    overhead = min(ratios)
+    _measurements["campaign_checkpoint_overhead"] = overhead
+    assert overhead <= CAMPAIGN_CHECKPOINT_OVERHEAD_MAX, (
+        f"checkpointed campaign costs {overhead:.3f}x the raw experiment loop "
+        f"(target <= {CAMPAIGN_CHECKPOINT_OVERHEAD_MAX}x)"
     )
 
 

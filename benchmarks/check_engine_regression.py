@@ -1,10 +1,11 @@
 """CI gate: fail on >30% engine-throughput regression vs the committed baseline.
 
-``benchmarks/bench_engine.py -k "churn or fault"`` appends one record per
-run to ``BENCH_engine.json`` at the repo root.  This script compares the
-newest record (the current run) against the newest *committed* record
-(the one before it) on dimensionless ratios — machine speed cancels out
-of each, so the gate is meaningful across runner hardware:
+``benchmarks/bench_engine.py -k "churn or fault or campaign"`` appends one
+record per run to ``BENCH_engine.json`` at the repo root.  This script
+compares the newest record (the current run) against the newest
+*committed* record (the one before it) on dimensionless ratios — machine
+speed cancels out of each, so the gate is meaningful across runner
+hardware:
 
 - ``churn_trial_speedup``   (batched sweep over per-trial loop; higher is
   better) must not drop below 70% of the baseline;
@@ -13,7 +14,10 @@ of each, so the gate is meaningful across runner hardware:
 - ``empty_plan_overhead``   (batched round cost with an empty FaultPlan
   over the faultless engine; ~1.0 by construction) must not grow above
   130% of the baseline, and never above the absolute 1.05 cap the bench
-  itself asserts.
+  itself asserts;
+- ``campaign_checkpoint_overhead`` (durable checkpointed campaign over a
+  raw experiment loop on the same cells) — same 130%-of-baseline rule
+  and the same absolute 1.05 cap: checkpointing must stay ≤5% overhead.
 
 A ratio present in the current record but absent from the baseline is a
 *new metric* (added after the baseline was committed): it is reported and
@@ -38,7 +42,7 @@ from pathlib import Path
 TOLERANCE = 0.30
 
 #: Hard ceilings independent of any baseline (mirror the bench asserts).
-ABSOLUTE_MAX = {"empty_plan_overhead": 1.05}
+ABSOLUTE_MAX = {"empty_plan_overhead": 1.05, "campaign_checkpoint_overhead": 1.05}
 
 
 def check(path: Path) -> int:
@@ -61,6 +65,7 @@ def check(path: Path) -> int:
         ("churn_trial_speedup", True),
         ("permuted_over_static", False),
         ("empty_plan_overhead", False),
+        ("campaign_checkpoint_overhead", False),
     ):
         base, cur = baseline.get(key), current.get(key)
         if cur is None:

@@ -13,15 +13,13 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments import EXPERIMENTS, registry_order, run_experiment
 
 
 def main() -> None:
     args = [a for a in sys.argv[1:]]
     profile = "standard" if "--standard" in args else "quick"
-    wanted = [a for a in args if not a.startswith("--")] or sorted(
-        EXPERIMENTS, key=lambda k: (k[0] != "E", len(k), k)
-    )
+    wanted = [a for a in args if not a.startswith("--")] or registry_order()
     for exp_id in wanted:
         exp = EXPERIMENTS[exp_id]
         print(f"\n### {exp_id} — {exp.claim}  [{profile}]")

@@ -6,6 +6,12 @@ Commands
     Show the experiment registry (ids, claims, profiles).
 ``experiments run <ID> [--profile quick|standard] [--save PATH]``
     Run one experiment and print (optionally save) its table.
+``experiments run-all [--profile quick|standard] [--checkpoint-dir D]
+[--resume] [--timeout-per-trial S] [--max-retries K]``
+    Run the whole registry as one durable, resumable campaign: each
+    finished experiment is checkpointed atomically, hung cells are
+    killed and retried with backoff, and ``--resume`` restarts a killed
+    campaign from its last durable state (see ``docs/operations.md``).
 ``graph <family> [params…]``
     Build a graph family and report n, m, Δ, α (best estimate), γ (exact
     when small), and the spectral lower bound.
@@ -73,6 +79,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument("exp_id", help="experiment id, e.g. E3 or A1")
     p_verify.add_argument("--profile", choices=("quick", "standard"), default="quick")
+    p_all = exp_sub.add_parser(
+        "run-all", help="run the full registry as a durable, resumable campaign"
+    )
+    p_all.add_argument("--profile", choices=("quick", "standard"), default="quick")
+    p_all.add_argument(
+        "--checkpoint-dir", default="campaign-checkpoints", metavar="D",
+        help="directory for per-experiment checkpoint JSONs",
+    )
+    p_all.add_argument(
+        "--resume", action="store_true",
+        help="reload valid checkpoints instead of re-running their cells",
+    )
+    p_all.add_argument(
+        "--timeout-per-trial", type=float, default=None, metavar="S",
+        help="wall-clock seconds per trial before a hung worker is killed",
+    )
+    p_all.add_argument(
+        "--timeout-per-experiment", type=float, default=None, metavar="S",
+        help="wall-clock ceiling for one experiment cell",
+    )
+    p_all.add_argument(
+        "--max-retries", type=int, default=2, metavar="K",
+        help="extra attempts per work unit before degrading/failing",
+    )
+    p_all.add_argument(
+        "--failure-budget", type=int, default=16, metavar="N",
+        help="total failures tolerated before the campaign aborts",
+    )
+    p_all.add_argument(
+        "--backoff-base", type=float, default=0.5, metavar="S",
+        help="base of the exponential retry backoff",
+    )
+    p_all.add_argument(
+        "--only", default=None, metavar="IDS",
+        help="comma-separated experiment ids (default: whole registry)",
+    )
+    p_all.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the assembled results text (standard_results.txt format) "
+        "here once every cell has a checkpoint",
+    )
+    p_all.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-experiment shape checks",
+    )
 
     p_graph = sub.add_parser("graph", help="inspect a graph family instance")
     p_graph.add_argument("family", choices=sorted(_FAMILY_ARGS))
@@ -144,10 +195,10 @@ def _build_family(family: str, params: list[int] | None, seed: int):
 
 
 def _cmd_experiments_list() -> int:
-    from repro.harness.experiments import EXPERIMENTS
+    from repro.harness.experiments import EXPERIMENTS, registry_order
 
     width = max(len(k) for k in EXPERIMENTS)
-    for exp_id in sorted(EXPERIMENTS, key=lambda k: (k[0] != "E", len(k), k)):
+    for exp_id in registry_order():
         print(f"{exp_id.ljust(width)}  {EXPERIMENTS[exp_id].claim}")
     return 0
 
@@ -163,6 +214,37 @@ def _cmd_experiments_run(exp_id: str, profile: str, save: str | None) -> int:
             fh.write(rendered + "\n")
         print(f"\nsaved to {save}")
     return 0
+
+
+def _cmd_experiments_run_all(args) -> int:
+    from repro.harness.campaign import (
+        CampaignConfig,
+        render_campaign_text,
+        run_campaign,
+    )
+
+    config = CampaignConfig(
+        checkpoint_dir=args.checkpoint_dir,
+        profile=args.profile,
+        exp_ids=args.only.split(",") if args.only else None,
+        resume=args.resume,
+        timeout_per_trial=args.timeout_per_trial,
+        timeout_per_experiment=args.timeout_per_experiment,
+        max_retries=args.max_retries,
+        failure_budget=args.failure_budget,
+        backoff_base=args.backoff_base,
+        verify=not args.no_verify,
+    )
+    report = run_campaign(config, progress=lambda line: print(line, flush=True))
+    print(report.summary(), flush=True)
+    if args.output and report.ok:
+        text = render_campaign_text(
+            config.checkpoint_dir, config.profile, config.exp_ids
+        )
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"results text written to {args.output}")
+    return 0 if report.ok else 1
 
 
 def _cmd_experiments_verify(exp_id: str, profile: str) -> int:
@@ -326,6 +408,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiments_list()
         if args.exp_command == "verify":
             return _cmd_experiments_verify(args.exp_id, args.profile)
+        if args.exp_command == "run-all":
+            return _cmd_experiments_run_all(args)
         return _cmd_experiments_run(args.exp_id, args.profile, args.save)
     if args.command == "graph":
         return _cmd_graph(args.family, args.params, args.seed)

@@ -10,6 +10,7 @@ its claim's shape conditions.
 
 from repro.harness.runner import (
     TrialOutcome,
+    UnpicklableBuilderWarning,
     run_trials,
     run_trials_batched,
     trial_seeds_for,
@@ -17,13 +18,41 @@ from repro.harness.runner import (
 )
 from repro.harness.sweep import grid, geometric_range
 from repro.harness.tables import Table
-from repro.harness.experiments import EXPERIMENTS, Experiment, run_experiment
-from repro.harness.persistence import load_document, load_table, save_table
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    registry_order,
+    run_experiment,
+)
+from repro.harness.persistence import (
+    ResultLoadError,
+    atomic_write_text,
+    load_document,
+    load_table,
+    quarantine_file,
+    save_table,
+)
+from repro.harness.durable import (
+    DurablePolicy,
+    FailureBudget,
+    FailureBudgetExceeded,
+    TrialCheckpointStore,
+    run_trials_batched_durable,
+    run_trials_durable,
+    use_policy,
+)
+from repro.harness.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    render_campaign_text,
+    run_campaign,
+)
 from repro.harness.reporting import build_report, collect_documents, write_report
-from repro.harness.verify import CheckResult, verify_experiment
+from repro.harness.verify import CheckResult, verify_document, verify_experiment
 
 __all__ = [
     "TrialOutcome",
+    "UnpicklableBuilderWarning",
     "run_trials",
     "run_trials_batched",
     "trial_seeds_for",
@@ -33,13 +62,29 @@ __all__ = [
     "Table",
     "EXPERIMENTS",
     "Experiment",
+    "registry_order",
     "run_experiment",
     "save_table",
     "load_table",
     "load_document",
+    "ResultLoadError",
+    "atomic_write_text",
+    "quarantine_file",
+    "DurablePolicy",
+    "FailureBudget",
+    "FailureBudgetExceeded",
+    "TrialCheckpointStore",
+    "run_trials_durable",
+    "run_trials_batched_durable",
+    "use_policy",
+    "CampaignConfig",
+    "CampaignReport",
+    "run_campaign",
+    "render_campaign_text",
     "build_report",
     "collect_documents",
     "write_report",
     "CheckResult",
     "verify_experiment",
+    "verify_document",
 ]

@@ -57,6 +57,7 @@ __all__ = [
     "Experiment",
     "EXPERIMENTS",
     "run_experiment",
+    "registry_order",
     "uid_keys_random",
     "uid_keys_with_min_at",
 ]
@@ -2384,8 +2385,25 @@ EXPERIMENTS: dict[str, Experiment] = {
 }
 
 
+def registry_order(ids: "Sequence[str] | None" = None) -> list[str]:
+    """Canonical campaign/report ordering of experiment ids.
+
+    E-series first (numerically), then ablations and related-work
+    extensions — the order EXPERIMENTS.md and ``standard_results.txt``
+    present results in.  Pass ``ids`` to order a subset (unknown ids
+    raise).
+    """
+    known = list(EXPERIMENTS)
+    if ids is not None:
+        unknown = [i for i in ids if i not in EXPERIMENTS]
+        if unknown:
+            raise KeyError(f"unknown experiment ids {unknown}; known: {sorted(known)}")
+        known = [i for i in known if i in set(ids)]
+    return sorted(known, key=lambda k: (k[0] != "E", len(k), k))
+
+
 def run_experiment(exp_id: str, profile: str = "quick", **overrides) -> Table:
-    """Run a registered experiment by id (``E1`` … ``E11``, ``A1``, ``A2``)."""
+    """Run a registered experiment by id (``E1`` … ``E19``, ``A*``, ``R*``)."""
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
     return EXPERIMENTS[exp_id].run(profile, **overrides)

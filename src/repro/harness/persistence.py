@@ -5,20 +5,60 @@ plus reproducibility metadata (experiment id, profile, package version,
 timestamp), and reloaded as :class:`~repro.harness.tables.Table` objects.
 EXPERIMENTS.md-style archives are regenerated from these documents rather
 than by re-running the sweeps.
+
+Durability contract (the campaign checkpointer builds on these
+primitives):
+
+* every write goes through :func:`atomic_write_text` — temp file in the
+  target directory, ``fsync``, ``os.replace``, then a directory
+  ``fsync`` — so a crash at any instant leaves either the old document
+  or the new one, never a truncated hybrid;
+* every document carries a ``content_sha256`` over its canonical payload,
+  verified on load, so silent corruption (bit rot, partial copies) is
+  detected rather than parsed;
+* every load failure — unreadable file, bad JSON, missing keys, version
+  or hash mismatch — surfaces as one exception type,
+  :class:`ResultLoadError`, naming the offending path;
+  ``load_document(..., strict=False)`` instead returns ``None`` so
+  callers can quarantine and regenerate.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.harness.tables import Table
 
-__all__ = ["ResultDocument", "save_table", "load_table", "load_document"]
+__all__ = [
+    "ResultDocument",
+    "ResultLoadError",
+    "save_table",
+    "load_table",
+    "load_document",
+    "atomic_write_text",
+    "quarantine_file",
+]
 
 _FORMAT_VERSION = 1
+
+#: Document key holding the payload hash; excluded from the hash itself.
+_HASH_KEY = "content_sha256"
+
+
+class ResultLoadError(ValueError):
+    """A saved result could not be loaded (corrupt, truncated, or wrong
+    format).  ``path`` names the offending file."""
+
+    def __init__(self, path: str | Path, reason: str):
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"cannot load result {self.path}: {reason}")
 
 
 @dataclass(frozen=True)
@@ -52,6 +92,60 @@ def _table_from_json(doc: dict) -> Table:
     return table
 
 
+def _payload_hash(doc: dict) -> str:
+    payload = {k: v for k, v in doc.items() if k != _HASH_KEY}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` so a crash can never truncate it.
+
+    The text lands in a temp file in the same directory, is fsynced,
+    renamed over the target with ``os.replace`` (atomic on POSIX), and
+    the directory entry is fsynced so the rename itself is durable.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def quarantine_file(path: str | Path) -> Path:
+    """Move a corrupt/partial file aside instead of deleting it.
+
+    Returns the quarantine path (``<name>.quarantined``, numbered when
+    that already exists) so operators can inspect what went wrong.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".quarantined")
+    i = 1
+    while target.exists():
+        target = path.with_name(f"{path.name}.quarantined.{i}")
+        i += 1
+    os.replace(path, target)
+    return target
+
+
 def save_table(
     table: Table,
     path: str | Path,
@@ -60,10 +154,12 @@ def save_table(
     profile: str,
     extra: dict | None = None,
 ) -> Path:
-    """Write ``table`` (with provenance) as a JSON document.
+    """Write ``table`` (with provenance) as a crash-safe JSON document.
 
     Cells must be JSON-serializable (the tables produced by the registry
-    contain only numbers, strings, and booleans).
+    contain only numbers, strings, and booleans).  The write is atomic
+    (temp file + ``os.replace`` + fsync) and the document carries a
+    ``content_sha256`` verified on load.
     """
     import repro
 
@@ -77,28 +173,51 @@ def save_table(
         "extra": extra or {},
         "table": _table_to_json(table),
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    doc[_HASH_KEY] = _payload_hash(doc)
+    atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return path
 
 
-def load_document(path: str | Path) -> ResultDocument:
-    """Load a saved result with its metadata."""
-    doc = json.loads(Path(path).read_text())
-    if doc.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported result format {doc.get('format_version')!r} "
-            f"(expected {_FORMAT_VERSION})"
+def load_document(path: str | Path, *, strict: bool = True) -> ResultDocument | None:
+    """Load a saved result with its metadata.
+
+    Any failure — unreadable file, invalid JSON, missing keys, format or
+    content-hash mismatch — raises :class:`ResultLoadError` naming the
+    path.  With ``strict=False`` those failures return ``None`` instead,
+    for quarantine-and-regenerate flows.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+        doc = json.loads(raw)
+        if not isinstance(doc, dict):
+            raise ResultLoadError(path, f"expected a JSON object, got {type(doc).__name__}")
+        if doc.get("format_version") != _FORMAT_VERSION:
+            raise ResultLoadError(
+                path,
+                f"unsupported result format {doc.get('format_version')!r} "
+                f"(expected {_FORMAT_VERSION})",
+            )
+        stored_hash = doc.get(_HASH_KEY)
+        if stored_hash is not None and stored_hash != _payload_hash(doc):
+            raise ResultLoadError(path, "content hash mismatch (corrupt or tampered)")
+        return ResultDocument(
+            table=_table_from_json(doc["table"]),
+            exp_id=doc["exp_id"],
+            profile=doc["profile"],
+            created_at=doc["created_at"],
+            package_version=doc["package_version"],
+            format_version=doc["format_version"],
+            extra=doc.get("extra", {}),
         )
-    return ResultDocument(
-        table=_table_from_json(doc["table"]),
-        exp_id=doc["exp_id"],
-        profile=doc["profile"],
-        created_at=doc["created_at"],
-        package_version=doc["package_version"],
-        format_version=doc["format_version"],
-        extra=doc.get("extra", {}),
-    )
+    except ResultLoadError:
+        if strict:
+            raise
+        return None
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        if strict:
+            raise ResultLoadError(path, f"{type(exc).__name__}: {exc}") from exc
+        return None
 
 
 def load_table(path: str | Path) -> Table:

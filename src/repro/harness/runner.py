@@ -39,11 +39,31 @@ __all__ = [
     "trial_summary",
     "default_processes",
     "EngineLike",
+    "UnpicklableBuilderWarning",
 ]
 
 #: Environment variable giving the default worker-process count for
 #: ``run_trials`` when ``processes`` is not passed explicitly.
 PROCESSES_ENV = "REPRO_PROCESSES"
+
+
+class UnpicklableBuilderWarning(UserWarning):
+    """A process fan-out was requested but the trial builder cannot be
+    pickled; the sweep fell back to ``processes=1`` with the same trial
+    seeds (outcomes are identical — each trial is independently seeded).
+
+    ``requested`` records the worker count that was ignored and
+    ``reason`` the pickling error."""
+
+    def __init__(self, requested: int, reason: str, source: str):
+        self.requested = requested
+        self.reason = reason
+        self.source = source
+        super().__init__(
+            f"{source} requested {requested} worker processes, but the trial "
+            f"builder is not picklable ({reason}); running serially with the "
+            "same trial seeds"
+        )
 
 
 class EngineLike(Protocol):
@@ -144,6 +164,21 @@ def run_trials(
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
+    from repro.harness import durable as _durable
+
+    if _durable.active_policy() is not None:
+        # A durable policy is active (e.g. inside a campaign cell):
+        # execute through the timeout/retry/degradation ladder instead.
+        return _durable.run_trials_durable(
+            build,
+            trials=trials,
+            max_rounds=max_rounds,
+            seed=seed,
+            check_every=check_every,
+            processes=processes,
+            policy=_durable.active_policy(),
+            budget=_durable.active_budget(),
+        )
     trial_seeds = trial_seeds_for(seed, trials)
     from_env = processes is None
     if from_env:
@@ -154,20 +189,15 @@ def run_trials(
         pickle.dumps(build)
     except Exception as exc:
         # Outcomes are identical either way (each trial is independently
-        # seeded), so the env-var default degrades gracefully instead of
-        # breaking closure-based builders; an explicit request errors.
-        if from_env:
-            warnings.warn(
-                f"{PROCESSES_ENV}={processes} ignored: the trial builder "
-                f"is not picklable ({exc!r}); running serially",
-                stacklevel=2,
-            )
-            return _trial_chunk(build, trial_seeds, max_rounds, check_every)
-        raise ValueError(
-            "processes > 1 requires a picklable builder (module-level "
-            "function or functools.partial), got one that fails to "
-            f"pickle: {exc!r}"
-        ) from exc
+        # seeded), so both the env-var default and an explicit request
+        # degrade to the serial path deterministically, with one
+        # structured warning instead of a hard error.
+        source = f"{PROCESSES_ENV}={processes}" if from_env else f"processes={processes}"
+        warnings.warn(
+            UnpicklableBuilderWarning(processes, repr(exc), source),
+            stacklevel=2,
+        )
+        return _trial_chunk(build, trial_seeds, max_rounds, check_every)
     workers = min(processes, trials)
     chunks = [list(c) for c in np.array_split(trial_seeds, workers)]
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -237,7 +267,47 @@ def run_trials_batched(
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
+    from repro.harness import durable as _durable
+
+    if _durable.active_policy() is not None:
+        return _durable.run_trials_batched_durable(
+            build_batched,
+            trials=trials,
+            max_rounds=max_rounds,
+            seed=seed,
+            check_every=check_every,
+            activation_rounds=activation_rounds,
+            fault_plan=fault_plan,
+            policy=_durable.active_policy(),
+            budget=_durable.active_budget(),
+        )
     seeds = trial_seeds_for(seed, trials)
+    return _run_batched_for_seeds(
+        build_batched,
+        seeds,
+        max_rounds=max_rounds,
+        check_every=check_every,
+        activation_rounds=activation_rounds,
+        fault_plan=fault_plan,
+    )
+
+
+def _run_batched_for_seeds(
+    build_batched,
+    seeds: Sequence[int],
+    *,
+    max_rounds: int,
+    check_every: int = 1,
+    activation_rounds: Sequence[int] | np.ndarray | None = None,
+    fault_plan=None,
+) -> list[TrialOutcome]:
+    """Execute one batched-engine run over an explicit seed list.
+
+    The extraction point the durable layer uses to run *sub-batches* of a
+    degraded sweep: any contiguous (or arbitrary) subset of the canonical
+    trial seeds runs through the identical engine path.
+    """
+    seeds = [int(s) for s in seeds]
     dynamic_graph, algorithm = build_batched(seeds)
     engine = BatchedVectorizedEngine(
         dynamic_graph,
@@ -254,7 +324,7 @@ def run_trials_batched(
             rounds=int(result.rounds[t]),
             rounds_after_last_activation=int(result.rounds_after_last_activation[t]),
         )
-        for t in range(trials)
+        for t in range(len(seeds))
     ]
 
 

@@ -19,7 +19,7 @@ from typing import Callable
 from repro.analysis.statistics import loglog_slope
 from repro.harness.tables import Table
 
-__all__ = ["CheckResult", "verify_experiment", "VERIFIERS"]
+__all__ = ["CheckResult", "verify_experiment", "verify_document", "VERIFIERS"]
 
 
 @dataclass(frozen=True)
@@ -375,3 +375,9 @@ def verify_experiment(exp_id: str, table: Table) -> list[CheckResult]:
     if exp_id not in VERIFIERS:
         raise KeyError(f"no verifier for {exp_id!r}; known: {sorted(VERIFIERS)}")
     return VERIFIERS[exp_id](table)
+
+
+def verify_document(doc) -> list[CheckResult]:
+    """Verify a saved :class:`~repro.harness.persistence.ResultDocument`
+    (e.g. a campaign checkpoint) against its experiment's shape checks."""
+    return verify_experiment(doc.exp_id, doc.table)

@@ -117,11 +117,22 @@ class TestParallelRunner:
             out = run_trials(lambda s: FakeEngine(s), trials=4, max_rounds=100, seed=3)
         assert [o.seed for o in out] == trial_seeds_for(3, 4)
 
-    def test_explicit_processes_unpicklable_builder_errors(self):
-        with pytest.raises(ValueError, match="picklable"):
-            run_trials(
+    def test_explicit_processes_unpicklable_builder_falls_back_serial(self):
+        """An explicit processes=K with an unpicklable builder degrades to
+        the serial path deterministically (same seeds, same outcomes)
+        with one structured warning instead of erroring."""
+        from repro.harness.runner import UnpicklableBuilderWarning
+
+        serial = run_trials(lambda s: FakeEngine(s), trials=4, max_rounds=100, seed=3)
+        with pytest.warns(UnpicklableBuilderWarning, match="running serially") as rec:
+            parallel = run_trials(
                 lambda s: FakeEngine(s), trials=4, max_rounds=100, seed=3, processes=2
             )
+        assert parallel == serial
+        warning = [w for w in rec if issubclass(w.category, UnpicklableBuilderWarning)]
+        assert len(warning) == 1
+        assert warning[0].message.requested == 2
+        assert warning[0].message.source == "processes=2"
 
     def test_env_default_validation(self, monkeypatch):
         monkeypatch.setenv(PROCESSES_ENV, "lots")

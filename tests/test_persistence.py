@@ -6,7 +6,14 @@ import json
 
 import pytest
 
-from repro.harness.persistence import load_document, load_table, save_table
+from repro.harness.persistence import (
+    ResultLoadError,
+    atomic_write_text,
+    load_document,
+    load_table,
+    quarantine_file,
+    save_table,
+)
 from repro.harness.tables import Table
 
 
@@ -66,3 +73,63 @@ class TestRoundTrip:
         path = tmp_path / "e1.json"
         save_table(table, path, exp_id="E1", profile="quick")
         assert load_table(path).render() == table.render()
+
+
+class TestDurability:
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "hello")
+        atomic_write_text(path, "world")
+        assert path.read_text() == "world"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_truncated_file_raises_result_load_error(self, tmp_path):
+        path = tmp_path / "res.json"
+        save_table(sample_table(), path, exp_id="E1", profile="quick")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate a mid-write crash
+        with pytest.raises(ResultLoadError) as exc_info:
+            load_document(path)
+        assert str(path) in str(exc_info.value)
+        assert load_document(path, strict=False) is None
+
+    def test_missing_file_raises_result_load_error(self, tmp_path):
+        with pytest.raises(ResultLoadError, match="nope.json"):
+            load_document(tmp_path / "nope.json")
+        assert load_document(tmp_path / "nope.json", strict=False) is None
+
+    def test_missing_keys_raise_result_load_error(self, tmp_path):
+        path = tmp_path / "res.json"
+        path.write_text(json.dumps({"format_version": 1}))
+        with pytest.raises(ResultLoadError):
+            load_document(path)
+
+    def test_content_hash_detects_tampering(self, tmp_path):
+        path = tmp_path / "res.json"
+        save_table(sample_table(), path, exp_id="E1", profile="quick")
+        doc = json.loads(path.read_text())
+        doc["table"]["rows"][0][1] = 999.0  # silent bit-flip
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ResultLoadError, match="hash"):
+            load_document(path)
+
+    def test_saved_document_carries_hash(self, tmp_path):
+        path = tmp_path / "res.json"
+        save_table(sample_table(), path, exp_id="E1", profile="quick")
+        assert "content_sha256" in json.loads(path.read_text())
+        assert load_document(path) is not None  # hash verifies
+
+    def test_quarantine_file_preserves_content(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{corrupt")
+        q1 = quarantine_file(path)
+        assert not path.exists()
+        assert q1.name == "bad.json.quarantined"
+        assert q1.read_text() == "{corrupt"
+        path.write_text("{corrupt again")
+        q2 = quarantine_file(path)
+        assert q2.name == "bad.json.quarantined.1"
+
+    def test_load_error_is_value_error(self, tmp_path):
+        """Backwards compatibility: pre-existing callers catch ValueError."""
+        assert issubclass(ResultLoadError, ValueError)
