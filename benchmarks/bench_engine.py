@@ -373,6 +373,50 @@ def test_fault_empty_plan_overhead():
     )
 
 
+#: Max tolerated round-cost ratio of ``collect_trace=False`` over default.
+TRACE_DISABLED_OVERHEAD_MAX = 1.05
+
+
+def test_trace_disabled_overhead():
+    """An engine built with ``collect_trace=False`` costs ≤5% per round.
+
+    Trace capture is opt-in: disabled, the round loop is the pre-capture
+    loop plus per-round guard branches that never take (``self.trace`` is
+    ``None``).  Like the empty-FaultPlan gate above, the ratio is ~1.0 by
+    construction today; the gate pins that guarantee against future trace
+    work leaking outside the ``collect_trace`` guard (eager per-round
+    array materialization, unconditional copies).  The enabled/disabled
+    ratio is recorded alongside as context — it is *allowed* to be large.
+    """
+    g = families.random_regular(N, DEGREE, seed=0)
+    keys = uid_keys_random(N, 0)
+    seeds = trial_seeds_for(0, REPLICAS)
+
+    def make(**kwargs):
+        return lambda: BatchedVectorizedEngine(
+            StaticDynamicGraph(g),
+            BlindGossipBatched(keys),
+            seeds=seeds,
+            **kwargs,
+        )
+
+    # Paired passes, min ratio: same noise-filtering rationale as the
+    # empty-plan overhead gate above.
+    ratios = []
+    for _ in range(3):
+        default_ms = _ms_per_round(make(), rounds=200, repeats=3)
+        disabled_ms = _ms_per_round(make(collect_trace=False), rounds=200, repeats=3)
+        ratios.append(disabled_ms / default_ms)
+    overhead = min(ratios)
+    enabled_ms = _ms_per_round(make(collect_trace=True), rounds=200, repeats=3)
+    _measurements["trace_disabled_overhead"] = overhead
+    _measurements["trace_enabled_over_disabled"] = enabled_ms / disabled_ms
+    assert overhead <= TRACE_DISABLED_OVERHEAD_MAX, (
+        f"trace-disabled rounds cost {overhead:.3f}x the default rounds "
+        f"(target <= {TRACE_DISABLED_OVERHEAD_MAX}x)"
+    )
+
+
 #: Max tolerated wall-time ratio of a checkpointed campaign over a raw loop.
 CAMPAIGN_CHECKPOINT_OVERHEAD_MAX = 1.05
 

@@ -17,7 +17,11 @@ hardware:
   itself asserts;
 - ``campaign_checkpoint_overhead`` (durable checkpointed campaign over a
   raw experiment loop on the same cells) — same 130%-of-baseline rule
-  and the same absolute 1.05 cap: checkpointing must stay ≤5% overhead.
+  and the same absolute 1.05 cap: checkpointing must stay ≤5% overhead;
+- ``trace_disabled_overhead``  (batched round cost with
+  ``collect_trace=False`` over the default engine; ~1.0 by construction)
+  — same 130%-of-baseline rule and the same absolute 1.05 cap:
+  opt-in trace capture must cost nothing when not opted into.
 
 A ratio present in the current record but absent from the baseline is a
 *new metric* (added after the baseline was committed): it is reported and
@@ -42,7 +46,11 @@ from pathlib import Path
 TOLERANCE = 0.30
 
 #: Hard ceilings independent of any baseline (mirror the bench asserts).
-ABSOLUTE_MAX = {"empty_plan_overhead": 1.05, "campaign_checkpoint_overhead": 1.05}
+ABSOLUTE_MAX = {
+    "empty_plan_overhead": 1.05,
+    "campaign_checkpoint_overhead": 1.05,
+    "trace_disabled_overhead": 1.05,
+}
 
 
 def check(path: Path) -> int:
@@ -66,6 +74,7 @@ def check(path: Path) -> int:
         ("permuted_over_static", False),
         ("empty_plan_overhead", False),
         ("campaign_checkpoint_overhead", False),
+        ("trace_disabled_overhead", False),
     ):
         base, cur = baseline.get(key), current.get(key)
         if cur is None:

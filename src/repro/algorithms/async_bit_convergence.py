@@ -234,6 +234,10 @@ class AsyncBitConvergenceVectorized(VectorizedAlgorithm):
         t, k = state.target_tag, state.target_key
         return bool(((state.ctag == t) & (state.ckey == k)).all())
 
+    def node_done(self, state) -> np.ndarray:
+        t, k = state.target_tag, state.target_key
+        return (state.ctag == t) & (state.ckey == k)
+
     def corrupt_state(self, state, victims, rng) -> None:
         """Give victims adversarial pairs from a fictional prior execution.
 

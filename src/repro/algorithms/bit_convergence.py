@@ -319,6 +319,13 @@ class BitConvergenceVectorized(VectorizedAlgorithm):
             and ((state.ptag == t) & (state.pkey == k)).all()
         )
 
+    def node_done(self, state) -> np.ndarray:
+        t, k = state.target_tag, state.target_key
+        return (
+            (state.ctag == t) & (state.ckey == k)
+            & (state.ptag == t) & (state.pkey == k)
+        )
+
     def observable(self, state):
         # An adaptive adversary may watch who already committed the
         # eventual winner's pair.
@@ -448,6 +455,14 @@ class BitConvergenceBatched(BatchedAlgorithm):
         return (
             ((state.ctag == t) & (state.ckey == k)).all(axis=1)
             & ((state.ptag == t) & (state.pkey == k)).all(axis=1)
+        )
+
+    def node_done(self, state) -> np.ndarray:
+        t = state.target_tag[:, None]
+        k = state.target_key[:, None]
+        return (
+            (state.ctag == t) & (state.ckey == k)
+            & (state.ptag == t) & (state.pkey == k)
         )
 
     def observable(self, state) -> np.ndarray:

@@ -115,6 +115,9 @@ class BlindGossipVectorized(VectorizedAlgorithm):
     def converged(self, state) -> bool:
         return bool((state.best == state.target).all())
 
+    def node_done(self, state) -> np.ndarray:
+        return state.best == state.target
+
     def corrupt_state(self, state, victims, rng) -> None:
         state.best[victims] = rng.integers(0, 10 * self._keys.size, size=victims.size)
         # The eventual winner is the min over the *corrupted* state.
@@ -173,6 +176,9 @@ class BlindGossipBatched(BatchedAlgorithm):
 
     def converged(self, state) -> np.ndarray:
         return (state.best == state.target).all(axis=1)
+
+    def node_done(self, state) -> np.ndarray:
+        return state.best == state.target
 
     def corrupt_state(self, state, victims, rng) -> None:
         rows = np.arange(victims.shape[0])[:, None]

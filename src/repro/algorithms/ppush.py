@@ -118,6 +118,9 @@ class PPushVectorized(VectorizedAlgorithm):
     def converged(self, state) -> bool:
         return bool(state.informed.all())
 
+    def node_done(self, state) -> np.ndarray:
+        return state.informed
+
     def corrupt_state(self, state, victims, rng) -> None:
         state.informed[victims] = np.isin(victims, self._sources)
 
@@ -170,6 +173,9 @@ class PPushBatched(BatchedAlgorithm):
 
     def converged(self, state) -> np.ndarray:
         return state.informed.all(axis=1)
+
+    def node_done(self, state) -> np.ndarray:
+        return state.informed
 
     def corrupt_state(self, state, victims, rng) -> None:
         rows = np.arange(victims.shape[0])[:, None]

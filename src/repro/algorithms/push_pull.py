@@ -154,6 +154,9 @@ class PushPullVectorized(VectorizedAlgorithm):
     def converged(self, state) -> bool:
         return bool(state.informed.all())
 
+    def node_done(self, state) -> np.ndarray:
+        return state.informed
+
     def corrupt_state(self, state, victims, rng) -> None:
         # Corruption knocks victims back to their initial status (see
         # PushPullNode.corrupt): sources re-seed, others forget.
@@ -212,6 +215,9 @@ class PushPullBatched(BatchedAlgorithm):
 
     def converged(self, state) -> np.ndarray:
         return state.informed.all(axis=1)
+
+    def node_done(self, state) -> np.ndarray:
+        return state.informed
 
     def corrupt_state(self, state, victims, rng) -> None:
         rows = np.arange(victims.shape[0])[:, None]

@@ -23,6 +23,12 @@ Commands
     Emit an example fault-plan JSON, or summarize an existing one.
 ``bounds --n N --alpha A --delta D [--tau T]``
     Evaluate every closed-form bound from the paper at a parameter point.
+``conformance fuzz [--budget N] [--seed S] [--out DIR]``
+    Differential-fuzz the three engine tiers against the model invariants
+    and each other; failing configurations are shrunk and written as
+    replayable JSON repro files.
+``conformance replay REPRO.json``
+    Re-run one repro file and report whether it still fails.
 """
 
 from __future__ import annotations
@@ -166,6 +172,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_bounds.add_argument("--delta", type=int, required=True)
     p_bounds.add_argument("--tau", type=float, default=1.0)
 
+    p_conf = sub.add_parser(
+        "conformance", help="cross-engine conformance checking and fuzzing"
+    )
+    conf_sub = p_conf.add_subparsers(dest="conf_command", required=True)
+    p_fuzz = conf_sub.add_parser(
+        "fuzz", help="differential-fuzz the engine tiers against the model"
+    )
+    p_fuzz.add_argument("--budget", type=int, default=200,
+                        help="number of sampled configurations")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory for repro JSONs of shrunk failing configurations",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failing configurations without shrinking them",
+    )
+    p_replay = conf_sub.add_parser(
+        "replay", help="re-run a repro file produced by `conformance fuzz`"
+    )
+    p_replay.add_argument("repro", help="path to the repro JSON")
+
     p_report = sub.add_parser(
         "report", help="assemble saved benchmark results into a markdown report"
     )
@@ -307,8 +336,18 @@ def _cmd_simulate(
     )
     from repro.analysis.progress import SpreadCurve
     from repro.core.vectorized import VectorizedEngine
-    from repro.graphs.dynamic import PeriodicRelabelDynamicGraph, StaticDynamicGraph
+    from repro.graphs.dynamic import (
+        PeriodicRelabelDynamicGraph,
+        StaticDynamicGraph,
+        validate_tau,
+    )
     from repro.harness.experiments import uid_keys_random
+
+    try:
+        tau = validate_tau(tau)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     g = _build_family(family, params, seed)
     n = g.n
@@ -329,7 +368,7 @@ def _cmd_simulate(
     dg = (
         StaticDynamicGraph(g)
         if math.isinf(tau)
-        else PeriodicRelabelDynamicGraph(g, int(tau), seed=seed)
+        else PeriodicRelabelDynamicGraph(g, tau, seed=seed)
     )
     plan = None
     gate = 0
@@ -377,6 +416,52 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    from repro.conformance.differential import fuzz, replay_file, write_repro
+
+    if args.conf_command == "replay":
+        report = replay_file(args.repro)
+        print(f"config: {report.config.to_dict()}")
+        if report.failed:
+            print(f"still failing ({len(report.failure_lines())} problems):")
+            for line in report.failure_lines():
+                print(f"  {line}")
+            return 1
+        print("configuration passes all conformance checks")
+        return 0
+
+    summary = fuzz(
+        args.budget,
+        args.seed,
+        log=lambda line: print(line, flush=True),
+        shrink_failures=not args.no_shrink,
+    )
+    print(
+        f"\n{summary.configs} configurations fuzzed "
+        f"(seed {args.seed}); "
+        f"acceptance samples {summary.acceptance.count} "
+        f"(z = {summary.acceptance.z():.2f}); "
+        f"ref/vec pooled log-median-ratio {summary.pooled_log_ratio:+.3f} "
+        f"over {summary.pooled_samples} configs"
+    )
+    if summary.ok:
+        print("no invariant violations, no cross-engine mismatches")
+        return 0
+    print(f"{len(summary.failures)} failing configuration(s):")
+    for i, report in enumerate(summary.failures):
+        print(f"  {report.config.to_dict()}")
+        for line in report.failure_lines()[:6]:
+            print(f"    {line}")
+        if args.out:
+            import os
+
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"repro-{args.seed}-{i}.json")
+            write_repro(report, path)
+            print(f"    repro written to {path}")
+    return 1
+
+
 def _cmd_bounds(n: int, alpha: float, delta: int, tau: float) -> int:
     from repro.analysis import bounds
 
@@ -422,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_faults(args)
     if args.command == "bounds":
         return _cmd_bounds(args.n, args.alpha, args.delta, args.tau)
+    if args.command == "conformance":
+        return _cmd_conformance(args)
     if args.command == "report":
         from repro.harness.reporting import write_report
 

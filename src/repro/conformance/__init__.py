@@ -1,0 +1,44 @@
+"""Cross-engine conformance: model-invariant checking and differential fuzzing.
+
+The paper's guarantees hold only under the mobile telephone model's hard
+constraints (Section III).  This package audits that every engine tier
+still obeys them after optimization work:
+
+* :mod:`repro.conformance.invariants` — checkers that validate a
+  recorded :class:`~repro.core.trace.Trace` (any tier) against the
+  model rules;
+* :mod:`repro.conformance.differential` — a seeded fuzzer that samples
+  configurations, cross-checks engine tiers against each other, runs
+  the invariant checkers on every trace, and shrinks failures to a
+  minimal replayable JSON repro.
+"""
+
+from repro.conformance.differential import (
+    ConfigReport,
+    FuzzConfig,
+    FuzzSummary,
+    fuzz,
+    replay_file,
+    run_config,
+    shrink,
+)
+from repro.conformance.invariants import (
+    AcceptanceStats,
+    Violation,
+    check_batched_trace,
+    check_trace,
+)
+
+__all__ = [
+    "AcceptanceStats",
+    "ConfigReport",
+    "FuzzConfig",
+    "FuzzSummary",
+    "Violation",
+    "check_batched_trace",
+    "check_trace",
+    "fuzz",
+    "replay_file",
+    "run_config",
+    "shrink",
+]

@@ -52,7 +52,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.trace import BatchedRunResult
+from repro.core.trace import BatchedRunResult, BatchedTrace
 from repro.graphs.dynamic import (
     BatchedPermutedDynamicGraph,
     DynamicGraph,
@@ -160,6 +160,16 @@ class BatchedAlgorithm(ABC):
     def converged(self, state: object) -> np.ndarray:
         """``(T,)`` absorbing stabilization predicate per replica."""
 
+    def node_done(self, state: object) -> np.ndarray | None:
+        """Optional ``(T, n)`` per-node form of :meth:`converged`.
+
+        ``converged()`` must equal ``node_done().all(axis=1)``.  The
+        engine uses the per-node form to exclude permanently crashed
+        nodes from stabilization (their state is frozen forever).
+        ``None`` (the default) falls back to the whole-network predicate.
+        """
+        return None
+
     def observable(self, state: object) -> np.ndarray | None:
         """``(T, n)`` per-replica adaptive-adversary observation, or ``None``."""
         return None
@@ -236,6 +246,7 @@ class BatchedVectorizedEngine:
         seeds: Sequence[int] | np.ndarray,
         activation_rounds: Sequence[int] | np.ndarray | None = None,
         fault_plan=None,
+        collect_trace: bool = False,
     ):
         from repro.graphs.adversary import AdaptiveDynamicGraph
 
@@ -313,6 +324,9 @@ class BatchedVectorizedEngine:
         else:
             self._faults = None
         self.state = self.algo.init_state(self.n, self.seeds)
+        #: Optional batched trace; :meth:`BatchedTrace.replica` recovers a
+        #: per-replica view in the single-engine record format.
+        self.trace = BatchedTrace(self.replicas, self.n) if collect_trace else None
         #: Replicas still running (convergence masking).
         self.live = np.ones(self.replicas, dtype=bool)
         self.rounds_executed = 0
@@ -541,6 +555,8 @@ class BatchedVectorizedEngine:
             sflat = np.flatnonzero(flat_picks >= 0)
             tflat = flat_picks[sflat]
 
+        trace = self.trace
+        tr_acc = tr_win = None
         if sflat.size:
             # A node that issued a proposal cannot receive one (per replica).
             proposed = self._proposed
@@ -556,12 +572,17 @@ class BatchedVectorizedEngine:
                 keepc = faults.connection_keep(acc_flat.size)
                 if keepc is not None:
                     acc_flat, win_flat = acc_flat[keepc], win_flat[keepc]
+            if trace is not None:
+                tr_acc, tr_win = acc_flat, win_flat
             if acc_flat.size:
                 arep = acc_flat // n
                 self.connections_made += np.bincount(arep, minlength=T)
                 self.algo.exchange(self.state, arep, win_flat % n, acc_flat % n)
 
         self.algo.end_round(self.state, r, local_rounds, active, self.live)
+
+        if trace is not None:
+            trace.append_round(r, sflat, tflat, tr_win, tr_acc, tags, active)
 
     # -- full runs -----------------------------------------------------------
 
@@ -580,13 +601,29 @@ class BatchedVectorizedEngine:
         T = self.replicas
         last_activation = int(self.activation.max())
         gate = self._faults.gate if self._faults is not None else 0
+        perma = self._faults.perma_down if self._faults is not None else None
+        if perma is None:
+            converged = lambda: np.asarray(  # noqa: E731
+                self.algo.converged(self.state), dtype=bool
+            )
+        else:
+            # Permanently crashed nodes are frozen forever; stabilization
+            # is agreement among the nodes that can still change state.
+            live_nodes = ~perma
+
+            def converged() -> np.ndarray:
+                done = self.algo.node_done(self.state)
+                if done is None:
+                    return np.asarray(self.algo.converged(self.state), dtype=bool)
+                return np.asarray(done, dtype=bool)[:, live_nodes].all(axis=1)
+
         rounds = np.full(T, max_rounds, dtype=np.int64)
         stabilized = np.zeros(T, dtype=bool)
         for r in range(1, max_rounds + 1):
             self.step(r)
             self.rounds_executed = r
             if r % check_every == 0 and r >= gate:
-                conv = np.asarray(self.algo.converged(self.state), dtype=bool)
+                conv = converged()
                 newly = self.live & conv
                 if newly.any():
                     rounds[newly] = r
@@ -597,7 +634,7 @@ class BatchedVectorizedEngine:
         if self.live.any() and max_rounds >= gate:
             # Horizon reached: replicas converging on the final round
             # outside the check stride still count, as in the single engine.
-            conv = np.asarray(self.algo.converged(self.state), dtype=bool)
+            conv = converged()
             stabilized[self.live & conv] = True
         return BatchedRunResult(
             stabilized=stabilized,
@@ -605,4 +642,5 @@ class BatchedVectorizedEngine:
             rounds_after_last_activation=np.maximum(
                 0, rounds - last_activation + 1
             ),
+            trace=self.trace,
         )

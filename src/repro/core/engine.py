@@ -252,23 +252,31 @@ class ReferenceEngine:
         round (the last scheduled crash edge or corruption event):
         transient events can make an absorbing predicate momentarily
         true-then-false, so only post-quiesce agreement certifies
-        stabilization.
+        stabilization.  Permanently crashed nodes (``end=None`` windows)
+        are excluded from the predicate: their state is frozen forever,
+        so counting them would make stabilization unreachable for every
+        run in which the winner spreads after the crash.
         """
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
         last_activation = int(self.activation.max())
         gate = self._faults.gate if self._faults is not None else 0
+        perma = self._faults.perma_down if self._faults is not None else None
+        if perma is None:
+            observed = self.protocols
+        else:
+            observed = [self.protocols[v] for v in np.flatnonzero(~perma)]
         for r in range(1, max_rounds + 1):
             self.step(r)
             self.rounds_executed = r
-            if r % check_every == 0 and r >= gate and stop_when(self.protocols):
+            if r % check_every == 0 and r >= gate and stop_when(observed):
                 return RunResult(
                     stabilized=True,
                     rounds=r,
                     rounds_after_last_activation=max(0, r - last_activation + 1),
                     trace=self.trace,
                 )
-        stabilized = stop_when(self.protocols)
+        stabilized = stop_when(observed)
         return RunResult(
             stabilized=stabilized,
             rounds=max_rounds,

@@ -7,11 +7,19 @@ predicate here is an **absorbing** condition of the algorithm it serves:
 once true it provably stays true (the underlying quantity — minimum UID
 seen, smallest ID pair — is monotone), so observing it once certifies
 stabilization.
+
+Predicates quantify over the protocols they are handed.  With a fault
+plan containing *permanent* crashes (``end=None`` windows) the engines
+pass only the live protocols — a permanently crashed node's state is
+frozen forever, so demanding its agreement would make stabilization
+unreachable whenever the winner spreads after the crash.  Callers
+evaluating predicates themselves should filter the same way via
+:func:`excluding_permanently_crashed`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TypeVar
 
 from repro.core.payload import UID
 from repro.core.protocol import LeaderElectionProtocol, RumorProtocol
@@ -19,8 +27,28 @@ from repro.core.protocol import LeaderElectionProtocol, RumorProtocol
 __all__ = [
     "all_leaders_are",
     "all_leaders_equal",
+    "excluding_permanently_crashed",
     "rumor_complete",
 ]
+
+_P = TypeVar("_P")
+
+
+def excluding_permanently_crashed(protocols: Sequence[_P], fault_plan) -> list[_P]:
+    """The protocols of nodes that never permanently crash under ``fault_plan``.
+
+    The sub-sequence a stabilization predicate should quantify over when
+    the plan contains ``end=None`` crash windows; with no plan (or no
+    permanent crashes) this is simply ``list(protocols)``.
+    """
+    if fault_plan is None or fault_plan.crashes is None:
+        return list(protocols)
+    dead = {
+        w.node for w in fault_plan.crashes.windows if w.end is None
+    }
+    if not dead:
+        return list(protocols)
+    return [p for v, p in enumerate(protocols) if v not in dead]
 
 
 def all_leaders_are(winner: UID):

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.core.trace import RunResult
+from repro.core.trace import RoundRecord, RunResult, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.faults.plan import FaultPlan
@@ -108,6 +108,18 @@ class VectorizedAlgorithm(ABC):
     def converged(self, state: object) -> bool:
         """Absorbing stabilization predicate over the current state."""
 
+    def node_done(self, state: object) -> np.ndarray | None:
+        """Optional ``(n,)`` per-node form of :meth:`converged`.
+
+        ``converged()`` must equal ``node_done().all()``.  Engines use the
+        per-node form to exclude permanently crashed nodes (their state is
+        frozen, so demanding their agreement would make stabilization
+        unreachable).  ``None`` (the default) means the predicate has no
+        per-node decomposition; permanent-crash plans then fall back to
+        the whole-network predicate.
+        """
+        return None
+
     # -- fault hooks (repro.faults) ----------------------------------------
 
     def corrupt_state(
@@ -160,6 +172,7 @@ class VectorizedEngine:
         seed: int | None = None,
         activation_rounds: Sequence[int] | np.ndarray | None = None,
         fault_plan: "FaultPlan | None" = None,
+        collect_trace: bool = False,
     ):
         self.dg = dynamic_graph
         self.algo = algorithm
@@ -188,6 +201,8 @@ class VectorizedEngine:
         else:
             self._faults = None
         self.state = self.algo.init_state(self.n, make_rng(seed, "vec-init"))
+        #: Optional full trace, in the reference engine's record format.
+        self.trace = Trace() if collect_trace else None
         self.rounds_executed = 0
         #: Cumulative connections established (2 messages each; the
         #: model's communication-cost unit for experiments like E15).
@@ -242,6 +257,10 @@ class VectorizedEngine:
         effective = picks >= 0  # senders that actually issued a proposal
         proposers = np.flatnonzero(effective)
         targets = picks[proposers]
+        if self.trace is not None:
+            # All issued proposals, ascending by proposer — before the
+            # proposer-cannot-receive filter, matching the reference.
+            tr_proposals = np.column_stack([proposers, targets]).reshape(-1, 2)
 
         # A node that issued a proposal cannot receive one.
         keep = ~effective[targets]
@@ -269,6 +288,17 @@ class VectorizedEngine:
 
         self.algo.end_round(self.state, r, local_rounds, active)
 
+        if self.trace is not None:
+            self.trace.append(
+                RoundRecord(
+                    round_index=r,
+                    proposals=tr_proposals,
+                    connections=np.column_stack([winners, acceptors]).reshape(-1, 2),
+                    tags=np.where(active, tags, -1).astype(np.int64),
+                    active=active.copy(),
+                )
+            )
+
     def run(self, max_rounds: int, *, check_every: int = 1) -> RunResult:
         """Run until the algorithm's convergence predicate or ``max_rounds``.
 
@@ -282,17 +312,33 @@ class VectorizedEngine:
             raise ValueError("max_rounds must be >= 1")
         last_activation = int(self.activation.max())
         gate = self._faults.gate if self._faults is not None else 0
+        perma = self._faults.perma_down if self._faults is not None else None
+        if perma is None:
+            converged = lambda: self.algo.converged(self.state)  # noqa: E731
+        else:
+            # Permanently crashed nodes are frozen forever; stabilization
+            # is agreement among the nodes that can still change state.
+            live = ~perma
+
+            def converged() -> bool:
+                done = self.algo.node_done(self.state)
+                if done is None:
+                    return self.algo.converged(self.state)
+                return bool(done[live].all())
+
         for r in range(1, max_rounds + 1):
             self.step(r)
             self.rounds_executed = r
-            if r % check_every == 0 and r >= gate and self.algo.converged(self.state):
+            if r % check_every == 0 and r >= gate and converged():
                 return RunResult(
                     stabilized=True,
                     rounds=r,
                     rounds_after_last_activation=max(0, r - last_activation + 1),
+                    trace=self.trace,
                 )
         return RunResult(
-            stabilized=self.algo.converged(self.state),
+            stabilized=converged(),
             rounds=max_rounds,
             rounds_after_last_activation=max(0, max_rounds - last_activation + 1),
+            trace=self.trace,
         )

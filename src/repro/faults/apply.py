@@ -57,6 +57,17 @@ class _FaultStateBase:
         # Cached up mask; None while every node is up (engine fast path).
         self._up: np.ndarray | None = None
         self._up_round = 0
+        #: ``(n,)`` mask of permanently crashed nodes (``end=None`` windows),
+        #: or ``None`` when every crash eventually rejoins.  Past the
+        #: quiesce gate these nodes are down forever with frozen state, so
+        #: stabilization predicates must exclude them (a permanently
+        #: crashed node can never adopt the winner).
+        perma = np.zeros(n, dtype=bool)
+        if self._schedule is not None:
+            for w in self._schedule.windows:
+                if w.end is None:
+                    perma[w.node] = True
+        self.perma_down: np.ndarray | None = perma if perma.any() else None
 
     def up_mask(self, r: int) -> np.ndarray | None:
         """``(n,)`` mask of non-crashed nodes, or ``None`` when all are up.

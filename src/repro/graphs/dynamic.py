@@ -36,6 +36,7 @@ __all__ = [
     "ResampleDynamicGraph",
     "epoch_of_round",
     "first_round_of_epoch",
+    "validate_tau",
 ]
 
 #: Epoch caches hold at most this many entries before evicting (the
@@ -62,6 +63,27 @@ def _evict_keep_newest(cache: dict, limit: int) -> None:
     cache[newest] = kept
 
 
+def validate_tau(tau: float) -> int | float:
+    """Normalize a stability factor to an ``int`` (or ``math.inf``).
+
+    τ counts whole rounds between topology changes, so a finite τ must be
+    an integer ≥ 1; integral floats (``3.0``) normalize to ``int``.
+    Anything else — ``2.5``, ``nan``, ``0`` — raises rather than silently
+    truncating (``int(2.5)`` would quietly run τ = 2, a different model).
+    """
+    if isinstance(tau, float):
+        if math.isinf(tau) and tau > 0:
+            return tau
+        if not tau.is_integer():  # also rejects nan
+            raise ValueError(
+                f"tau must be a whole number of rounds (or inf), got {tau}"
+            )
+        tau = int(tau)
+    if tau < 1:
+        raise ValueError(f"tau must be >= 1, got {tau}")
+    return int(tau)
+
+
 def epoch_of_round(r: int, tau: float) -> int:
     """Epoch index (0-based) containing 1-indexed round ``r``.
 
@@ -70,18 +92,20 @@ def epoch_of_round(r: int, tau: float) -> int:
     """
     if r < 1:
         raise ValueError(f"rounds are 1-indexed, got {r}")
+    tau = validate_tau(tau)
     if math.isinf(tau):
         return 0
-    return (r - 1) // int(tau)
+    return (r - 1) // tau
 
 
 def first_round_of_epoch(e: int, tau: float) -> int:
     """First 1-indexed round of epoch ``e``."""
+    tau = validate_tau(tau)
     if math.isinf(tau):
         if e != 0:
             raise ValueError("a static dynamic graph has a single epoch")
         return 1
-    return e * int(tau) + 1
+    return e * tau + 1
 
 
 class DynamicGraph(ABC):
@@ -145,8 +169,7 @@ class ScheduleDynamicGraph(DynamicGraph):
     def __init__(self, graphs: Sequence[Graph], tau: int, *, cycle: bool = False):
         if not graphs:
             raise ValueError("need at least one graph")
-        if tau < 1:
-            raise ValueError("tau must be >= 1")
+        tau = validate_tau(tau)
         n = graphs[0].n
         for g in graphs:
             if g.n != n:
@@ -238,8 +261,7 @@ class PeriodicRelabelDynamicGraph(PermutedDynamicGraph):
     """
 
     def __init__(self, base: Graph, tau: int, seed: int | None = None):
-        if tau < 1:
-            raise ValueError("tau must be >= 1")
+        tau = validate_tau(tau)
         if not base.is_connected():
             raise ValueError("topology must be connected")
         self.base = base
@@ -298,8 +320,7 @@ class ResampleDynamicGraph(DynamicGraph):
         tau: int,
         seed: int | None = None,
     ):
-        if tau < 1:
-            raise ValueError("tau must be >= 1")
+        tau = validate_tau(tau)
         self._sampler = sampler
         self._seed = seed
         self.tau = tau
