@@ -463,6 +463,122 @@ def test_campaign_checkpoint_overhead():
     )
 
 
+# ---------------------------------------------------------------------------
+# Large-n tier: chunked-engine round cost and sparse-frontier endgame speedup
+# ---------------------------------------------------------------------------
+
+LARGE_DEGREE = 8
+SPARSE_UNDONE = 128
+
+#: Endgame speedup target asserted below (and re-checked by the gate).
+SPARSE_FRONTIER_SPEEDUP_MIN = 5.0
+
+
+def _large_setup(n: int, seed: int = 0):
+    g = families.random_regular(n, LARGE_DEGREE, seed=seed)
+    keys = uid_keys_random(n, seed)
+    return StaticDynamicGraph(g), keys
+
+
+def _endgame_engine(dg, keys, sparse: str):
+    """A vectorized engine positioned near stabilization.
+
+    All but :data:`SPARSE_UNDONE` nodes already hold the winner; the
+    stragglers hold distinct non-winning values.  This is the regime the
+    sparse frontier targets: the undone set and its 2-hop closure are a
+    few percent of the network.
+    """
+    eng = VectorizedEngine(
+        dg, BlindGossipVectorized(keys), seed=1, sparse=sparse
+    )
+    st = eng.state
+    n = st.best.size
+    undone = np.random.default_rng(7).choice(n, size=SPARSE_UNDONE, replace=False)
+    st.best[:] = st.target
+    st.best[undone] = st.target + 1 + np.arange(SPARSE_UNDONE)
+    if sparse != "off":
+        # Materialize the frontier up front: a real run builds it once at
+        # the first sparse round, not once per measured round.
+        eng._ensure_frontier()
+    return eng
+
+
+def _first_round_ms(make_engine, repeats: int = 9) -> float:
+    """Median cost of round 1 on a fresh engine, in ms.
+
+    The churn benches time long streaks (:func:`_ms_per_round`); here the
+    endgame state must be identical for every measured round, so each
+    sample re-builds the engine and times exactly one round.
+    """
+    samples = []
+    for _ in range(repeats):
+        eng = make_engine()
+        t0 = time.perf_counter()
+        eng.step(1)
+        samples.append((time.perf_counter() - t0) * 1000.0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_sparse_frontier_speedup():
+    """Endgame rounds on the sparse frontier run ≥5× the dense rounds.
+
+    Same n=10^5 endgame state (128 undone nodes) for both engines; the
+    dense round touches all 10^5 rows, the sparse round only the ~1%
+    2-hop closure of the undone set.
+    """
+    dg, keys = _large_setup(100_000)
+
+    dense_ms = _first_round_ms(lambda: _endgame_engine(dg, keys, "off"))
+    sparse_ms = _first_round_ms(lambda: _endgame_engine(dg, keys, "auto"))
+    speedup = dense_ms / sparse_ms
+    _measurements.update(
+        endgame_dense_ms_per_round=dense_ms,
+        endgame_sparse_ms_per_round=sparse_ms,
+        sparse_frontier_speedup=speedup,
+    )
+    assert speedup >= SPARSE_FRONTIER_SPEEDUP_MIN, (
+        f"sparse endgame round {sparse_ms:.3f} ms is only {speedup:.1f}x "
+        f"faster than the dense round {dense_ms:.3f} ms "
+        f"(target >= {SPARSE_FRONTIER_SPEEDUP_MIN}x)"
+    )
+
+
+def test_large_n_round_cost():
+    """Chunked-engine round cost at n=10^5 and n=10^6 from the initial state.
+
+    Records absolute per-round wall times (machine-dependent context) and
+    their dimensionless n=10^6 / n=10^5 ratio, which the regression gate
+    caps: a 10× larger network must not cost disproportionately more per
+    round (superlinear blowup means the chunking or frontier logic broke).
+    """
+    from repro.core.largen import LargeNEngine
+
+    dg5, keys5 = _large_setup(100_000)
+    ms_1e5 = _ms_per_round(
+        lambda: LargeNEngine(dg5, BlindGossipVectorized(keys5), seed=2),
+        rounds=20,
+        repeats=3,
+    )
+    dg6, keys6 = _large_setup(1_000_000)
+    ms_1e6 = _ms_per_round(
+        lambda: LargeNEngine(dg6, BlindGossipVectorized(keys6), seed=2),
+        rounds=5,
+        repeats=2,
+    )
+    _measurements.update(
+        ms_per_round_n1e5=ms_1e5,
+        ms_per_round_n1e6=ms_1e6,
+        largen_ms_ratio_n1e6_over_n1e5=ms_1e6 / ms_1e5,
+    )
+    # Sanity only (the gate holds the real cap): 10x nodes should cost
+    # within ~25x per round, not e.g. 100x.
+    assert ms_1e6 / ms_1e5 <= 25.0, (
+        f"n=1e6 round {ms_1e6:.1f} ms is {ms_1e6 / ms_1e5:.1f}x the "
+        f"n=1e5 round {ms_1e5:.1f} ms (superlinear blowup)"
+    )
+
+
 def test_churn_trajectory_record():
     """Append this run's measurements to the committed trajectory file.
 

@@ -2,10 +2,11 @@
 
 ``benchmarks/bench_engine.py -k "churn or fault or campaign"`` appends one
 record per run to ``BENCH_engine.json`` at the repo root.  This script
-compares the newest record (the current run) against the newest
-*committed* record (the one before it) on dimensionless ratios — machine
+compares the newest record (the current run) against the *per-metric
+median of all committed prior records* on dimensionless ratios — machine
 speed cancels out of each, so the gate is meaningful across runner
-hardware:
+hardware, and the median baseline keeps one anomalously lucky (or
+unlucky) committed run from poisoning the gate for every later run:
 
 - ``churn_trial_speedup``   (batched sweep over per-trial loop; higher is
   better) must not drop below 70% of the baseline;
@@ -21,11 +22,21 @@ hardware:
 - ``trace_disabled_overhead``  (batched round cost with
   ``collect_trace=False`` over the default engine; ~1.0 by construction)
   — same 130%-of-baseline rule and the same absolute 1.05 cap:
-  opt-in trace capture must cost nothing when not opted into.
+  opt-in trace capture must cost nothing when not opted into;
+- ``sparse_frontier_speedup`` (dense endgame round over sparse-frontier
+  endgame round at n=10^5; higher is better) must not drop below 70% of
+  the baseline, and never below the absolute 5.0 floor the bench itself
+  asserts;
+- ``largen_ms_ratio_n1e6_over_n1e5`` (chunked-engine per-round cost at
+  n=10^6 over n=10^5; lower is better) — 130%-of-baseline rule plus an
+  absolute 25.0 cap: a 10× network must not cost superlinearly more per
+  round.  The absolute ``ms_per_round_n1e5`` / ``ms_per_round_n1e6``
+  times are recorded alongside as machine-dependent context and must be
+  present, but only their ratio is gated.
 
-A ratio present in the current record but absent from the baseline is a
-*new metric* (added after the baseline was committed): it is reported and
-passes; the next committed record becomes its baseline.  A ratio missing
+A ratio present in the current record but absent from every prior record
+is a *new metric* (added after the baselines were committed): it is
+reported and passes; the next committed record becomes its baseline.  A ratio missing
 from the *current* record is a failure — the bench that produces it did
 not run.
 
@@ -39,6 +50,7 @@ Exit status 0 on pass (or when no baseline exists yet), 1 on regression.
 from __future__ import annotations
 
 import json
+import statistics
 import sys
 from pathlib import Path
 
@@ -50,7 +62,18 @@ ABSOLUTE_MAX = {
     "empty_plan_overhead": 1.05,
     "campaign_checkpoint_overhead": 1.05,
     "trace_disabled_overhead": 1.05,
+    "largen_ms_ratio_n1e6_over_n1e5": 25.0,
 }
+
+#: Hard floors independent of any baseline (mirror the bench asserts).
+ABSOLUTE_MIN = {
+    "sparse_frontier_speedup": 5.0,
+}
+
+#: Absolute (machine-dependent) context values that must exist in the
+#: current record — their producing benches must have run — but whose
+#: magnitudes are not compared against the baseline.
+REQUIRED_PRESENT = ("ms_per_round_n1e5", "ms_per_round_n1e6")
 
 
 def check(path: Path) -> int:
@@ -63,20 +86,33 @@ def check(path: Path) -> int:
     if len(records) == 1:
         print(f"{path}: single record (no committed baseline); pass")
         return 0
-    baseline = records[-2]
+    prior = records[:-1]
     print(
-        f"baseline {baseline['commit']} ({baseline['date']}) vs "
+        f"baseline: per-metric median of {len(prior)} committed record(s) "
+        f"({prior[0]['commit']}..{prior[-1]['commit']}) vs "
         f"current {current['commit']} ({current['date']})"
     )
+
+    def baseline_for(key: str) -> float | None:
+        values = [r[key] for r in prior if r.get(key) is not None]
+        return statistics.median(values) if values else None
+
     failures = []
+    for key in REQUIRED_PRESENT:
+        if current.get(key) is None:
+            failures.append(f"{key}: missing from current record")
+        else:
+            print(f"  {key}: {current[key]:.3f} (context; not gated) ok")
     for key, higher_is_better in (
         ("churn_trial_speedup", True),
         ("permuted_over_static", False),
         ("empty_plan_overhead", False),
         ("campaign_checkpoint_overhead", False),
         ("trace_disabled_overhead", False),
+        ("sparse_frontier_speedup", True),
+        ("largen_ms_ratio_n1e6_over_n1e5", False),
     ):
-        base, cur = baseline.get(key), current.get(key)
+        base, cur = baseline_for(key), current.get(key)
         if cur is None:
             failures.append(f"{key}: missing from current record")
             continue
@@ -84,6 +120,11 @@ def check(path: Path) -> int:
         if cap is not None and cur > cap:
             print(f"  {key}: {cur:.3f} exceeds absolute cap {cap:.3f} REGRESSION")
             failures.append(f"{key}: {cur:.3f} > absolute cap {cap:.3f}")
+            continue
+        floor = ABSOLUTE_MIN.get(key)
+        if floor is not None and cur < floor:
+            print(f"  {key}: {cur:.3f} below absolute floor {floor:.3f} REGRESSION")
+            failures.append(f"{key}: {cur:.3f} < absolute floor {floor:.3f}")
             continue
         if base is None:
             # Metric newer than the baseline record: nothing to compare

@@ -83,6 +83,10 @@ class BlindGossipVectorized(VectorizedAlgorithm):
     """
 
     tag_length = 0
+    # Doneness (best == target) is absorbing, decided per node, and only
+    # changes through exchanges; exchanges between done nodes are no-ops.
+    sparse_compatible = True
+    quiescent_when_done = True
 
     def __init__(self, uid_keys: np.ndarray):
         self._keys = np.asarray(uid_keys, dtype=np.int64)
@@ -106,6 +110,12 @@ class BlindGossipVectorized(VectorizedAlgorithm):
 
     def senders(self, state, tags, local_rounds, active, rng) -> np.ndarray:
         return rng.random(active.shape[0]) < 0.5
+
+    def sparse_senders(self, state, rows, rng) -> np.ndarray:
+        return rng.random(rows.shape[0]) < 0.5
+
+    def node_done_subset(self, state, nodes) -> np.ndarray:
+        return state.best[nodes] == state.target
 
     def exchange(self, state, proposers: np.ndarray, acceptors: np.ndarray) -> None:
         lo = np.minimum(state.best[proposers], state.best[acceptors])
@@ -145,6 +155,8 @@ class BlindGossipBatched(BatchedAlgorithm):
     """
 
     tag_length = 0
+    # Same absorbing per-node doneness as the vectorized kernel, replica-wise.
+    sparse_compatible = True
 
     def __init__(self, uid_keys: np.ndarray):
         self._keys = np.asarray(uid_keys, dtype=np.int64)
@@ -168,6 +180,17 @@ class BlindGossipBatched(BatchedAlgorithm):
 
     def senders(self, state, tags, local_rounds, active, rng) -> np.ndarray:
         return rng.random(state.best.shape) < 0.5
+
+    def sparse_senders_flat(self, state, flat_rows, rng) -> np.ndarray:
+        return rng.random(flat_rows.shape[0]) < 0.5
+
+    def node_done_subset_flat(self, state, flat_rows, n) -> np.ndarray:
+        best = state.best.reshape(-1)[flat_rows]
+        target = state.target
+        if isinstance(target, np.ndarray):
+            # Post-corruption per-replica (T, 1) targets.
+            return best == np.broadcast_to(target, state.best.shape).reshape(-1)[flat_rows]
+        return best == target
 
     def exchange(self, state, rep, proposers, acceptors) -> None:
         lo = np.minimum(state.best[rep, proposers], state.best[rep, acceptors])

@@ -154,6 +154,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN.json",
         help="JSON fault plan to inject (see `repro faults template`)",
     )
+    p_sim.add_argument(
+        "--engine-backend",
+        choices=("numpy", "numba"),
+        default=None,
+        help="csrops kernel backend (numba requires the optional extra; "
+        "default: REPRO_CSROPS_BACKEND or auto-detect)",
+    )
+    p_sim.add_argument(
+        "--chunk-nodes",
+        type=int,
+        default=None,
+        metavar="K",
+        help="run via the chunked large-n engine with K-vertex slabs "
+        "(blind_gossip only; incompatible with --fault-plan)",
+    )
 
     p_faults = sub.add_parser("faults", help="author and inspect fault plans")
     faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
@@ -325,6 +340,8 @@ def _cmd_simulate(
     seed: int,
     max_rounds: int,
     fault_plan_path: str | None = None,
+    engine_backend: str | None = None,
+    chunk_nodes: int | None = None,
 ) -> int:
     from repro.algorithms import (
         AsyncBitConvergenceVectorized,
@@ -347,6 +364,24 @@ def _cmd_simulate(
         tau = validate_tau(tau)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if engine_backend is not None:
+        from repro.util import csrops
+
+        try:
+            csrops.set_backend(engine_backend)
+        except (KeyError, ValueError) as exc:
+            print(
+                f"error: backend {engine_backend!r} is not available "
+                f"(registered: {', '.join(csrops.available_backends())}); "
+                "install the optional numba extra to enable it",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"backend    : {csrops.get_backend()}")
+    if chunk_nodes is not None and chunk_nodes < 1:
+        print(f"error: --chunk-nodes must be >= 1, got {chunk_nodes}", file=sys.stderr)
         return 2
 
     g = _build_family(family, params, seed)
@@ -378,7 +413,23 @@ def _cmd_simulate(
         plan = FaultPlan.from_file(fault_plan_path)
         gate = plan.quiesce_round
         print(f"fault plan : {plan.describe()}")
-    engine = VectorizedEngine(dg, algo, seed=seed, fault_plan=plan)
+    if chunk_nodes is not None:
+        from repro.core.largen import LargeNEngine
+
+        if plan is not None:
+            print("error: --chunk-nodes is incompatible with --fault-plan",
+                  file=sys.stderr)
+            return 2
+        if not algo.sparse_compatible:
+            print(
+                f"error: --chunk-nodes requires a sparse-compatible algorithm "
+                f"({algorithm} is not)",
+                file=sys.stderr,
+            )
+            return 2
+        engine = LargeNEngine(dg, algo, seed=seed, chunk_nodes=chunk_nodes)
+    else:
+        engine = VectorizedEngine(dg, algo, seed=seed, fault_plan=plan)
     curve = SpreadCurve()
     progress = getattr(algo, "observable", lambda s: None)
     for r in range(1, max_rounds + 1):
@@ -502,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(
             args.algorithm, args.family, args.params, args.tau, args.seed,
             args.max_rounds, args.fault_plan,
+            args.engine_backend, args.chunk_nodes,
         )
     if args.command == "faults":
         return _cmd_faults(args)

@@ -29,6 +29,7 @@ from repro.core.protocol import (
 from repro.core.engine import ReferenceEngine, ModelViolation
 from repro.core.vectorized import VectorizedEngine, VectorizedAlgorithm
 from repro.core.batched import BatchedVectorizedEngine, BatchedAlgorithm
+from repro.core.largen import LargeNEngine
 from repro.core.trace import Trace, RoundRecord, RunResult, BatchedRunResult
 from repro.core.monitor import all_leaders_are, all_leaders_equal, rumor_complete
 from repro.core.classical import classical_push_pull_rumor, classical_push_pull_leader
@@ -50,6 +51,7 @@ __all__ = [
     "VectorizedAlgorithm",
     "BatchedVectorizedEngine",
     "BatchedAlgorithm",
+    "LargeNEngine",
     "Trace",
     "RoundRecord",
     "RunResult",

@@ -64,10 +64,17 @@ from repro.util.csrops import (
     batched_permuted_pick,
     batched_random_pick,
     csr_degrees,
+    gather_rows,
     invert_permutations,
     segmented_random_pick,
     segmented_uniform_accept_pairs,
     stack_csr,
+    unique_nodes,
+)
+from repro.core.vectorized import (
+    _SPARSE_MAX_FRACTION,
+    _SPARSE_MIN_N,
+    _resolve_sparse_mode,
 )
 from repro.util.rng import make_rng
 
@@ -89,6 +96,15 @@ class BatchedAlgorithm(ABC):
 
     #: Advertising tag length ``b`` this algorithm requires.
     tag_length: int = 0
+
+    #: Whether the engine may run sparse-activity rounds for this
+    #: algorithm (see :class:`~repro.core.vectorized.VectorizedAlgorithm`
+    #: for the contract: per-node absorbing doneness, state changes only
+    #: through :meth:`exchange`, done–done exchanges are no-ops, and the
+    #: ``sparse_senders_flat`` / ``node_done_subset_flat`` hooks are
+    #: implemented).  Sparse-compatible batched algorithms must also have
+    #: ``b = 0`` and no receiver mask.
+    sparse_compatible: bool = False
 
     @abstractmethod
     def init_state(self, n: int, seeds: np.ndarray) -> object:
@@ -170,6 +186,37 @@ class BatchedAlgorithm(ABC):
         """
         return None
 
+    def sparse_senders_flat(
+        self, state: object, flat_rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sender coins for the flat ``t*n + v`` ids in ``flat_rows`` only.
+
+        Must be distribution-equivalent to :meth:`senders` restricted to
+        those (replica, vertex) pairs (bit-equivalence with the dense
+        path is *not* required — the sparse path consumes the engine
+        stream differently by design).  Required when
+        ``sparse_compatible`` is true.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement sparse sender coins"
+        )
+
+    def node_done_subset_flat(
+        self, state: object, flat_rows: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Doneness of the flat ``t*n + v`` ids in ``flat_rows`` only.
+
+        Default derives from :meth:`node_done`; override with an O(|flat_rows|)
+        gather to keep sparse rounds free of (T, n) scans.
+        """
+        done = self.node_done(state)
+        if done is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no per-node doneness; sparse "
+                "rounds require node_done or node_done_subset_flat"
+            )
+        return np.asarray(done, dtype=bool).reshape(-1)[flat_rows]
+
     def observable(self, state: object) -> np.ndarray | None:
         """``(T, n)`` per-replica adaptive-adversary observation, or ``None``."""
         return None
@@ -247,6 +294,7 @@ class BatchedVectorizedEngine:
         activation_rounds: Sequence[int] | np.ndarray | None = None,
         fault_plan=None,
         collect_trace: bool = False,
+        sparse: str | None = None,
     ):
         from repro.graphs.adversary import AdaptiveDynamicGraph
 
@@ -353,6 +401,22 @@ class BatchedVectorizedEngine:
         # Flat id -> local vertex lookup (a gather beats an integer modulo
         # on the hot path).
         self._row_of = np.tile(np.arange(self.n, dtype=np.int64), self.replicas)
+        # Sparse-activity rounds (mirrors VectorizedEngine): eligible only
+        # on the shared-single-dynamic-graph path with no faults, no tags,
+        # and synchronized activation.  The frontier lives in flat id
+        # space; finished replicas drop out automatically because every
+        # one of their nodes is done.
+        self._sparse_mode = _resolve_sparse_mode(sparse)
+        self._sparse_ok = (
+            self._sparse_mode != "off"
+            and algorithm.sparse_compatible
+            and algorithm.tag_length == 0
+            and self._faults is None
+            and bool((self.activation == 1).all())
+            and self.dg is not None
+        )
+        self._undone_fmask: np.ndarray | None = None
+        self._undone_fidx: np.ndarray | None = None
 
     # -- topology ------------------------------------------------------------
 
@@ -436,11 +500,140 @@ class BatchedVectorizedEngine:
         assert self._P is not None and self._Pinv is not None
         return self._P, self._Pinv
 
+    # -- sparse-activity rounds ----------------------------------------------
+
+    def _ensure_frontier(self) -> bool:
+        """Lazily build the flat undone-node frontier; False disables sparse."""
+        if self._undone_fmask is not None:
+            return True
+        done = self.algo.node_done(self.state)
+        if done is None:
+            self._sparse_ok = False
+            return False
+        mask = ~np.asarray(done, dtype=bool).reshape(-1)
+        self._undone_fmask = mask
+        self._undone_fidx = np.flatnonzero(mask)
+        return True
+
+    def _frontier_absorb(self, winners: np.ndarray, acceptors: np.ndarray) -> None:
+        """Drop newly done flat ids from the frontier after an exchange.
+
+        Doneness is absorbing and only changes through exchanges (the
+        ``sparse_compatible`` contract), so only this round's exchange
+        endpoints can have left the undone set.
+        """
+        mask = self._undone_fmask
+        if mask is None:
+            return
+        parts = np.concatenate([winners, acceptors])
+        cand = unique_nodes(parts[mask[parts]])
+        if cand.size == 0:
+            return
+        fin = cand[self.algo.node_done_subset_flat(self.state, cand, self.n)]
+        if fin.size:
+            mask[fin] = False
+            assert self._undone_fidx is not None
+            self._undone_fidx = self._undone_fidx[mask[self._undone_fidx]]
+
+    def _gather_flat(self, graph: Graph, flat: np.ndarray) -> np.ndarray:
+        """Concatenated flat-id neighbors of the flat ids in ``flat``.
+
+        Replica ``t``'s copy of vertex ``v`` neighbors replica ``t``'s
+        copies of ``v``'s neighbors, so the flat adjacency is the shared
+        CSR shifted by each id's replica base ``t*n``.
+        """
+        verts = self._row_of[flat]
+        nbrs = gather_rows(graph.indptr, graph.indices, verts)
+        deg = self._degrees(graph)
+        return nbrs + np.repeat(flat - verts, deg[verts])
+
+    def _try_sparse_step(self, r: int) -> bool:
+        """Run round ``r`` via the sparse frontier path if profitable.
+
+        Same exactness argument as
+        :meth:`~repro.core.vectorized.VectorizedEngine._try_sparse_step`,
+        applied per replica in flat id space: every state-changing
+        exchange has an undone endpoint, and the full acceptance
+        competition of any node adjacent to the undone set lies inside
+        the 2-hop closure, so simulating only that closure (keeping every
+        simulated proposal) reproduces the dense state-trajectory
+        distribution exactly.  ``connections_made`` may undercount
+        passive done–done connections outside the closure.
+        """
+        if not self._sparse_ok:
+            return False
+        assert self.dg is not None
+        force = self._sparse_mode == "force"
+        total = self.replicas * self.n
+        if not force and total < _SPARSE_MIN_N:
+            return False
+        if not self._ensure_frontier():
+            return False
+        u_idx = self._undone_fidx
+        assert u_idx is not None
+        limit = _SPARSE_MAX_FRACTION * total
+        if not force and u_idx.size > limit:
+            return False
+        graph = self.dg.graph_at(r)
+        reach = unique_nodes(
+            np.concatenate([u_idx, self._gather_flat(graph, u_idx)])
+        )
+        rows = unique_nodes(
+            np.concatenate([reach, self._gather_flat(graph, reach)])
+        )
+        if not force and rows.size > limit:
+            return False
+        self._sparse_step(r, graph, rows)
+        return True
+
+    def _sparse_step(self, r: int, graph: Graph, rows: np.ndarray) -> None:
+        """One batched round touching only the flat ids in ``rows``."""
+        T, n = self.replicas, self.n
+        rng = self._rng
+        coins = self.algo.sparse_senders_flat(self.state, rows, rng)
+        sflat = rows[coins]
+        verts = self._row_of[sflat]
+        d = self._degrees(graph)[verts]
+        ok = d > 0
+        if not ok.all():
+            sflat, verts, d = sflat[ok], verts[ok], d[ok]
+        if sflat.size:
+            offsets = (rng.random(d.size) * d).astype(np.int64)
+            tloc = graph.indices[graph.indptr[verts] + offsets]
+            tflat = (sflat - verts) + tloc
+        else:
+            tflat = sflat
+        trace = self.trace
+        tr_acc = tr_win = None
+        if sflat.size:
+            proposed = self._proposed
+            proposed[sflat] = True
+            keep = np.flatnonzero(~proposed[tflat])
+            proposed[sflat] = False
+            acc_flat, win_flat = segmented_uniform_accept_pairs(
+                sflat.take(keep), tflat.take(keep), rng
+            )
+            if trace is not None:
+                tr_acc, tr_win = acc_flat, win_flat
+            if acc_flat.size:
+                arep = acc_flat // n
+                self.connections_made += np.bincount(arep, minlength=T)
+                self.algo.exchange(self.state, arep, win_flat % n, acc_flat % n)
+                self._frontier_absorb(win_flat, acc_flat)
+        # end_round is a contractual no-op for sparse-compatible algorithms.
+        if trace is not None:
+            trace.append_round(
+                r, sflat, tflat, tr_win, tr_acc, None, self.activation <= r
+            )
+
     # -- single round --------------------------------------------------------
 
     def step(self, r: int) -> None:
         """Execute global round ``r`` (1-indexed) in every live replica."""
         from repro.graphs.adversary import AdaptiveDynamicGraph
+
+        if self._try_sparse_step(r):
+            return
 
         T, n = self.replicas, self.n
         active = self.activation <= r
@@ -578,6 +771,9 @@ class BatchedVectorizedEngine:
                 arep = acc_flat // n
                 self.connections_made += np.bincount(arep, minlength=T)
                 self.algo.exchange(self.state, arep, win_flat % n, acc_flat % n)
+                # Keep the sparse frontier current across dense rounds
+                # (no-op until a sparse round has materialized it).
+                self._frontier_absorb(win_flat, acc_flat)
 
         self.algo.end_round(self.state, r, local_rounds, active, self.live)
 

@@ -240,6 +240,7 @@ class ReferenceEngine:
         stop_when: Callable[[list[NodeProtocol]], bool],
         *,
         check_every: int = 1,
+        quiescent_stop: bool = False,
     ) -> RunResult:
         """Run until ``stop_when(protocols)`` or ``max_rounds``.
 
@@ -247,6 +248,20 @@ class ReferenceEngine:
         algorithm (e.g. every node holds the eventual leader) so that
         checking it every ``check_every`` rounds cannot miss stabilization
         permanently — it only quantizes the reported round count.
+
+        ``quiescent_stop=True`` additionally asserts that once the
+        predicate holds, every later round is a global no-op (the system
+        is at a state fixed point — true for e.g. blind gossip, where all
+        further exchanges trade identical minima).  The engine then
+        checks the predicate every round and, on success between
+        checkpoints, *burns the remaining rounds arithmetically* instead
+        of executing them: the reported round count is exactly what the
+        plain loop would report (the next ``check_every`` checkpoint,
+        capped at ``max_rounds``), but the skipped no-op rounds cost
+        nothing.  Engine RNG state afterwards differs from a plain run
+        (the skipped rounds' draws never happen), which is unobservable
+        within this run.  Ignored (plain loop) with a fault plan or an
+        active trace, which must see every round.
 
         With a fault plan, checks are suppressed until the plan's quiesce
         round (the last scheduled crash edge or corruption event):
@@ -266,6 +281,12 @@ class ReferenceEngine:
             observed = self.protocols
         else:
             observed = [self.protocols[v] for v in np.flatnonzero(~perma)]
+        fast_forward = (
+            quiescent_stop
+            and check_every > 1
+            and self._faults is None
+            and self.trace is None
+        )
         for r in range(1, max_rounds + 1):
             self.step(r)
             self.rounds_executed = r
@@ -274,6 +295,17 @@ class ReferenceEngine:
                     stabilized=True,
                     rounds=r,
                     rounds_after_last_activation=max(0, r - last_activation + 1),
+                    trace=self.trace,
+                )
+            if fast_forward and stop_when(observed):
+                # Quiescent: burn the rounds to the next checkpoint without
+                # executing them (they are no-ops by the caller's assertion).
+                rounds = min((r // check_every + 1) * check_every, max_rounds)
+                self.rounds_executed = rounds
+                return RunResult(
+                    stabilized=True,
+                    rounds=rounds,
+                    rounds_after_last_activation=max(0, rounds - last_activation + 1),
                     trace=self.trace,
                 )
         stabilized = stop_when(observed)

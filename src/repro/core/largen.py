@@ -1,0 +1,256 @@
+"""Chunked-over-``n`` engine for very large networks (``n = 10^5..10^6``).
+
+The vectorized engine materializes every per-round intermediate at full
+network width, so at ``n = 10^6`` each round streams a dozen
+million-element temporaries through memory.  This engine executes the
+same round semantics in **cache-friendly slabs of ``chunk_nodes``
+vertices**:
+
+1. *Pick pass* (per slab): draw the slab's sender coins via the
+   algorithm's ``sparse_senders`` hook and choose each sender's proposal
+   target with :func:`~repro.util.csrops.segmented_random_pick_subset` —
+   the working set per slab is O(``chunk_nodes``) beyond the CSR and the
+   compact proposal list it appends to;
+2. *Accept pass* (global, over the compact proposal list): apply the
+   "a proposer cannot receive" rule through a persistent O(``n``) scratch
+   mask, resolve acceptances with
+   :func:`~repro.util.csrops.segmented_uniform_accept_pairs`, and apply
+   the exchange.
+
+Both passes consume randomness per slab in slab order, so runs are
+deterministic in ``(seed, chunk_nodes)``; different chunk sizes are
+different (equally valid) samples of the same round distribution.
+
+Once stabilization is near (most nodes done), rounds switch to the same
+2-hop **sparse frontier** as
+:meth:`repro.core.vectorized.VectorizedEngine._try_sparse_step`, touching
+only the undone set and its competition neighborhood — the endgame of a
+``10^6``-node run costs the frontier, not the network.
+
+Scope: the engine requires a ``sparse_compatible`` algorithm with
+``b = 0``, synchronized activation, no fault plan, and no trace (use the
+vectorized engine for instrumented runs — at ``10^6`` nodes a full trace
+would dwarf the state anyway).  Initial state is derived with the same
+``"vec-init"`` stream label as :class:`~repro.core.vectorized.VectorizedEngine`,
+so a ``LargeNEngine(seed=s)`` starts bit-identical to a
+``VectorizedEngine(seed=s)``; round randomness is an independent
+``"largen-engine"`` stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trace import RunResult
+from repro.core.vectorized import (
+    _SPARSE_MAX_FRACTION,
+    VectorizedAlgorithm,
+)
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.static import Graph
+from repro.util.csrops import (
+    gather_rows,
+    unique_nodes,
+    segmented_random_pick_subset,
+    segmented_uniform_accept_pairs,
+)
+from repro.util.rng import make_rng
+
+__all__ = ["LargeNEngine"]
+
+#: Default slab width: 64k vertices keeps the per-slab working set
+#: (a few int64/bool arrays of this length) inside L2/L3 on typical CPUs.
+DEFAULT_CHUNK_NODES = 65536
+
+
+class LargeNEngine:
+    """Runs a ``sparse_compatible`` :class:`VectorizedAlgorithm` in slabs.
+
+    Parameters
+    ----------
+    dynamic_graph
+        Topology source (adaptive adversaries are rejected: their
+        observation protocol assumes full-width rounds).
+    algorithm
+        Must declare ``sparse_compatible`` and ``tag_length == 0``.
+    seed
+        Root seed; initial state uses the ``"vec-init"`` label (so it is
+        bit-identical to the vectorized engine's), round randomness the
+        ``"largen-engine"`` label.
+    chunk_nodes
+        Slab width of the pick pass (default
+        :data:`DEFAULT_CHUNK_NODES`); results depend on it only as
+        different samples of the same distribution.
+    """
+
+    def __init__(
+        self,
+        dynamic_graph: DynamicGraph,
+        algorithm: VectorizedAlgorithm,
+        *,
+        seed: int | None = None,
+        chunk_nodes: int = DEFAULT_CHUNK_NODES,
+    ):
+        from repro.graphs.adversary import AdaptiveDynamicGraph
+
+        if not algorithm.sparse_compatible:
+            raise ValueError(
+                f"{type(algorithm).__name__} is not sparse_compatible; the "
+                "chunked engine needs the sparse hooks (use VectorizedEngine)"
+            )
+        if algorithm.tag_length != 0:
+            raise ValueError(
+                "the chunked engine supports only b = 0 algorithms "
+                f"(got tag_length={algorithm.tag_length})"
+            )
+        if isinstance(dynamic_graph, AdaptiveDynamicGraph):
+            raise ValueError("adaptive dynamic graphs require full-width rounds")
+        if chunk_nodes < 1:
+            raise ValueError(f"chunk_nodes must be >= 1, got {chunk_nodes}")
+        self.dg = dynamic_graph
+        self.algo = algorithm
+        self.n = dynamic_graph.n
+        self.chunk_nodes = int(chunk_nodes)
+        self._rng = make_rng(seed, "largen-engine")
+        self.state = algorithm.init_state(self.n, make_rng(seed, "vec-init"))
+        #: Kept for engine-API parity; this engine never records traces.
+        self.trace = None
+        self.rounds_executed = 0
+        #: Cumulative connections established (2 messages each); sparse
+        #: endgame rounds undercount passive done–done connections.
+        self.connections_made = 0
+        self._proposed = np.zeros(self.n, dtype=bool)
+        # Sparse endgame frontier (materialized lazily on first use).
+        self._undone_mask: np.ndarray | None = None
+        self._undone_idx: np.ndarray | None = None
+
+    # -- sparse endgame ------------------------------------------------------
+
+    def _ensure_frontier(self) -> bool:
+        if self._undone_mask is not None:
+            return True
+        done = self.algo.node_done(self.state)
+        if done is None:
+            return False
+        self._undone_mask = ~np.asarray(done, dtype=bool)
+        self._undone_idx = np.flatnonzero(self._undone_mask)
+        return True
+
+    def _frontier_absorb(self, winners: np.ndarray, acceptors: np.ndarray) -> None:
+        mask = self._undone_mask
+        if mask is None:
+            return
+        parts = np.concatenate([winners, acceptors])
+        cand = unique_nodes(parts[mask[parts]])
+        if cand.size == 0:
+            return
+        fin = cand[self.algo.node_done_subset(self.state, cand)]
+        if fin.size:
+            mask[fin] = False
+            assert self._undone_idx is not None
+            self._undone_idx = self._undone_idx[mask[self._undone_idx]]
+
+    def _try_sparse_step(self, r: int) -> bool:
+        """Endgame path: same 2-hop frontier as the vectorized engine."""
+        if not self._ensure_frontier():
+            return False
+        u_idx = self._undone_idx
+        assert u_idx is not None
+        limit = _SPARSE_MAX_FRACTION * self.n
+        if u_idx.size > limit:
+            return False
+        graph = self.dg.graph_at(r)
+        indptr, indices = graph.indptr, graph.indices
+        reach = unique_nodes(
+            np.concatenate([u_idx, gather_rows(indptr, indices, u_idx)])
+        )
+        rows = unique_nodes(
+            np.concatenate([reach, gather_rows(indptr, indices, reach)])
+        )
+        if rows.size > limit:
+            return False
+        rng = self._rng
+        coins = self.algo.sparse_senders(self.state, rows, rng)
+        senders = rows[coins]
+        picks = segmented_random_pick_subset(indptr, indices, rng, senders)
+        ok = picks >= 0
+        self._resolve(picks[ok], senders[ok])
+        return True
+
+    # -- chunked round -------------------------------------------------------
+
+    def _resolve(self, targets: np.ndarray, proposers: np.ndarray) -> None:
+        """Accept pass: proposer-cannot-receive, accept, exchange."""
+        prop = self._proposed
+        prop[proposers] = True
+        keep = ~prop[targets]
+        prop[proposers] = False
+        proposers, targets = proposers[keep], targets[keep]
+        acceptors, winners = segmented_uniform_accept_pairs(
+            proposers, targets, self._rng
+        )
+        if acceptors.size:
+            self.connections_made += int(acceptors.size)
+            self.algo.exchange(self.state, winners, acceptors)
+            self._frontier_absorb(winners, acceptors)
+
+    def step(self, r: int) -> None:
+        """Execute global round ``r`` (1-indexed)."""
+        if self._try_sparse_step(r):
+            return
+        graph: Graph = self.dg.graph_at(r)
+        indptr, indices = graph.indptr, graph.indices
+        rng = self._rng
+        n = self.n
+        prop_parts: list[np.ndarray] = []
+        targ_parts: list[np.ndarray] = []
+        for lo in range(0, n, self.chunk_nodes):
+            rows = np.arange(lo, min(lo + self.chunk_nodes, n), dtype=np.int64)
+            coins = self.algo.sparse_senders(self.state, rows, rng)
+            senders = rows[coins]
+            picks = segmented_random_pick_subset(indptr, indices, rng, senders)
+            ok = picks >= 0
+            prop_parts.append(senders[ok])
+            targ_parts.append(picks[ok])
+        self._resolve(np.concatenate(targ_parts), np.concatenate(prop_parts))
+
+    # -- full runs -----------------------------------------------------------
+
+    def run(self, max_rounds: int, *, check_every: int = 1) -> RunResult:
+        """Run until the algorithm's convergence predicate or ``max_rounds``.
+
+        Checking every ``check_every`` rounds quantizes the reported
+        round count exactly as in the vectorized engine; for
+        ``quiescent_when_done`` algorithms converged stretches between
+        checkpoints are burned arithmetically (same round arithmetic as
+        :meth:`VectorizedEngine.run`).
+        """
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        fast_forward = self.algo.quiescent_when_done and check_every > 1
+        for r in range(1, max_rounds + 1):
+            self.step(r)
+            self.rounds_executed = r
+            converged = bool(self.algo.converged(self.state))
+            if r % check_every == 0 and converged:
+                return RunResult(
+                    stabilized=True,
+                    rounds=r,
+                    rounds_after_last_activation=r,
+                    trace=None,
+                )
+            if fast_forward and converged:
+                rounds = min((r // check_every + 1) * check_every, max_rounds)
+                self.rounds_executed = rounds
+                return RunResult(
+                    stabilized=True,
+                    rounds=rounds,
+                    rounds_after_last_activation=rounds,
+                    trace=None,
+                )
+        return RunResult(
+            stabilized=bool(self.algo.converged(self.state)),
+            rounds=max_rounds,
+            rounds_after_last_activation=max_rounds,
+            trace=None,
+        )

@@ -32,10 +32,41 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.faults.plan import FaultPlan
 from repro.graphs.dynamic import DynamicGraph
 from repro.graphs.static import Graph
-from repro.util.csrops import segmented_random_pick, segmented_uniform_accept
+from repro.util.csrops import (
+    gather_rows,
+    unique_nodes,
+    segmented_random_pick,
+    segmented_random_pick_subset,
+    segmented_uniform_accept,
+    segmented_uniform_accept_pairs,
+)
 from repro.util.rng import make_rng
 
 __all__ = ["VectorizedAlgorithm", "VectorizedEngine"]
+
+import os
+
+#: Below this vertex count, sparse-activity rounds cannot beat the dense
+#: kernels' fixed dispatch overhead; ``auto`` mode stays dense.
+_SPARSE_MIN_N = 4096
+#: ``auto`` mode runs a sparse round only while the 2-hop frontier covers
+#: at most this fraction of the vertices.
+_SPARSE_MAX_FRACTION = 0.25
+
+
+def _resolve_sparse_mode(requested: str | None) -> str:
+    """Sparse-round mode: explicit argument, else ``REPRO_SPARSE``, else auto.
+
+    ``force`` engages sparse rounds wherever the algorithm is compatible
+    (regardless of size thresholds — used by the conformance fuzzer to
+    exercise the sparse path at tiny n); ``off`` disables them; ``auto``
+    applies the density heuristics.
+    """
+    mode = requested if requested is not None else os.environ.get("REPRO_SPARSE", "auto")
+    mode = mode.strip().lower() or "auto"
+    if mode not in ("auto", "force", "off"):
+        raise ValueError(f"sparse mode must be auto/force/off, got {mode!r}")
+    return mode
 
 
 class VectorizedAlgorithm(ABC):
@@ -47,6 +78,19 @@ class VectorizedAlgorithm(ABC):
 
     #: Advertising tag length ``b`` this algorithm requires.
     tag_length: int = 0
+
+    #: True when the engine may run *sparse-activity rounds* for this
+    #: algorithm.  The contract: doneness is absorbing and per-node
+    #: (:meth:`node_done` decomposes), state changes only through
+    #: :meth:`exchange` (``end_round`` is a no-op), an exchange between two
+    #: done nodes changes nothing, and :meth:`sparse_senders` /
+    #: :meth:`node_done_subset` are implemented.
+    sparse_compatible: bool = False
+
+    #: True when a converged state makes every further round a no-op, so
+    #: rounds burned toward a fixed horizon can be counted arithmetically
+    #: instead of simulated (see :meth:`VectorizedEngine.run`).
+    quiescent_when_done: bool = False
 
     @abstractmethod
     def init_state(self, n: int, rng: np.random.Generator) -> object:
@@ -107,6 +151,34 @@ class VectorizedAlgorithm(ABC):
     @abstractmethod
     def converged(self, state: object) -> bool:
         """Absorbing stabilization predicate over the current state."""
+
+    def sparse_senders(
+        self, state: object, rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sender coin flips for the frontier rows only (sparse rounds).
+
+        Must draw exactly one decision per entry of ``rows`` with the same
+        per-node distribution as :meth:`senders` (the RNG *consumption*
+        may differ from the dense path — sparse rounds are
+        distribution-equivalent, not bit-equivalent, to dense rounds).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement sparse sender coins"
+        )
+
+    def node_done_subset(self, state: object, nodes: np.ndarray) -> np.ndarray:
+        """Per-node doneness restricted to ``nodes`` (sparse bookkeeping).
+
+        Default routes through the dense :meth:`node_done`;
+        sparse-compatible algorithms override with an O(len(nodes))
+        gather so frontier updates never touch the full state.
+        """
+        done = self.node_done(state)
+        if done is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no per-node doneness decomposition"
+            )
+        return done[nodes]
 
     def node_done(self, state: object) -> np.ndarray | None:
         """Optional ``(n,)`` per-node form of :meth:`converged`.
@@ -173,6 +245,7 @@ class VectorizedEngine:
         activation_rounds: Sequence[int] | np.ndarray | None = None,
         fault_plan: "FaultPlan | None" = None,
         collect_trace: bool = False,
+        sparse: str | None = None,
     ):
         self.dg = dynamic_graph
         self.algo = algorithm
@@ -210,11 +283,151 @@ class VectorizedEngine:
         # Per-round connection callback, used by instrumented experiments
         # (e.g. counting cut-crossing connections in the PPUSH experiment).
         self.on_connections: Callable[[int, np.ndarray, np.ndarray], None] | None = None
+        # -- sparse-activity rounds (large-n path) -------------------------
+        # Only engaged when the algorithm certifies compatibility and the
+        # run has no features the frontier bookkeeping cannot track
+        # (faults, staggered activation, advertising tags, adaptive
+        # adversaries).  Sparse rounds are distribution-equivalent to
+        # dense rounds over state trajectories; the decision never depends
+        # on whether a trace is collected, so traced and untraced runs of
+        # one seed stay identical.
+        from repro.graphs.adversary import AdaptiveDynamicGraph
+
+        self._sparse_mode = _resolve_sparse_mode(sparse)
+        self._sparse_ok = (
+            self._sparse_mode != "off"
+            and algorithm.sparse_compatible
+            and algorithm.tag_length == 0
+            and self._faults is None
+            and bool((self.activation == 1).all())
+            and not isinstance(dynamic_graph, AdaptiveDynamicGraph)
+        )
+        self._undone_mask: np.ndarray | None = None
+        self._undone_idx: np.ndarray | None = None
+        self._proposed: np.ndarray | None = None
+
+    # -- sparse-activity rounds -------------------------------------------
+
+    def _ensure_frontier(self) -> bool:
+        """Initialize the undone-node frontier lazily (one O(n) scan)."""
+        if self._undone_mask is not None:
+            return True
+        done = self.algo.node_done(self.state)
+        if done is None:
+            self._sparse_ok = False
+            return False
+        self._undone_mask = ~done
+        self._undone_idx = np.flatnonzero(self._undone_mask)
+        return True
+
+    def _frontier_absorb(self, winners: np.ndarray, acceptors: np.ndarray) -> None:
+        """Retire exchange participants that just became done.
+
+        Doneness is absorbing and (for sparse-compatible algorithms) only
+        changes through exchanges, so rechecking the round's participants
+        keeps the frontier exact at O(connections) per round.
+        """
+        if self._undone_mask is None:
+            return
+        parts = np.concatenate([winners, acceptors])
+        cand = parts[self._undone_mask[parts]]
+        if cand.size == 0:
+            return
+        cand = unique_nodes(cand)
+        fin = cand[self.algo.node_done_subset(self.state, cand)]
+        if fin.size:
+            self._undone_mask[fin] = False
+            self._undone_idx = self._undone_idx[self._undone_mask[self._undone_idx]]
+
+    def _try_sparse_step(self, r: int) -> bool:
+        """Run round ``r`` on the 2-hop frontier when profitable.
+
+        The frontier ``S = U ∪ N(U) ∪ N(N(U))`` over the undone set ``U``
+        contains every node whose proposal can compete for an exchange
+        with an undone endpoint: a state-changing exchange has an endpoint
+        in ``U``, its receiver is in ``U ∪ N(U)``, and every rival
+        proposer of that receiver is a neighbor of it — hence in ``S``.
+        Drawing sender coins only for ``S``, keeping all their proposals,
+        and accepting uniformly over the kept proposals therefore yields
+        the dense round's exact distribution over state trajectories;
+        proposals entirely between passive nodes are no-op exchanges and
+        are skipped (``connections_made`` undercounts those no-ops, which
+        is why instrumented runs with ``on_connections`` stay dense).
+        """
+        if not self._sparse_ok or self.on_connections is not None:
+            return False
+        force = self._sparse_mode == "force"
+        n = self.n
+        if not force and n < _SPARSE_MIN_N:
+            return False
+        if not self._ensure_frontier():
+            return False
+        u_idx = self._undone_idx
+        limit = _SPARSE_MAX_FRACTION * n
+        if not force and u_idx.size > limit:
+            return False
+        graph = self.dg.graph_at(r)
+        indptr, indices = graph.indptr, graph.indices
+        reach = unique_nodes(
+            np.concatenate([u_idx, gather_rows(indptr, indices, u_idx)])
+        )
+        rows = unique_nodes(
+            np.concatenate([reach, gather_rows(indptr, indices, reach)])
+        )
+        if not force and rows.size > limit:
+            return False
+        self._sparse_step(r, graph, rows)
+        return True
+
+    def _sparse_step(self, r: int, graph: Graph, rows: np.ndarray) -> None:
+        """One frontier-restricted round (same shape as the dense round)."""
+        rng = self._rng
+        n = self.n
+        coins = self.algo.sparse_senders(self.state, rows, rng)
+        senders = rows[coins]
+        picks = segmented_random_pick_subset(graph.indptr, graph.indices, rng, senders)
+        ok = picks >= 0
+        proposers = senders[ok]
+        targets = picks[ok]
+        if self.trace is not None:
+            tr_proposals = np.column_stack([proposers, targets]).reshape(-1, 2)
+
+        # A node that issued a proposal cannot receive one (the dense
+        # rule, applied via a persistent O(n) scratch mask).
+        if self._proposed is None:
+            self._proposed = np.zeros(n, dtype=bool)
+        prop = self._proposed
+        prop[proposers] = True
+        keep = ~prop[targets]
+        prop[proposers] = False
+        proposers, targets = proposers[keep], targets[keep]
+
+        acceptors, winners = segmented_uniform_accept_pairs(proposers, targets, rng)
+        if acceptors.size:
+            self.connections_made += int(acceptors.size)
+            self.algo.exchange(self.state, winners, acceptors)
+            self._frontier_absorb(winners, acceptors)
+
+        if self.trace is not None:
+            # tag_length == 0 and all-sync activation are preconditions of
+            # the sparse path, so tags are all zeros and everyone is
+            # active — same records the dense round would produce.
+            self.trace.append(
+                RoundRecord(
+                    round_index=r,
+                    proposals=tr_proposals,
+                    connections=np.column_stack([winners, acceptors]).reshape(-1, 2),
+                    tags=np.zeros(n, dtype=np.int64),
+                    active=np.ones(n, dtype=bool),
+                )
+            )
 
     def step(self, r: int) -> None:
         """Execute global round ``r`` (1-indexed)."""
         from repro.graphs.adversary import AdaptiveDynamicGraph
 
+        if self._try_sparse_step(r):
+            return
         if isinstance(self.dg, AdaptiveDynamicGraph):
             self.dg.observe(r, self.algo.observable(self.state))
         graph = self.dg.graph_at(r)
@@ -280,6 +493,7 @@ class VectorizedEngine:
         if acceptors.size:
             self.connections_made += int(acceptors.size)
             self.algo.exchange(self.state, winners, acceptors)
+            self._frontier_absorb(winners, acceptors)
             if self.on_connections is not None:
                 self.on_connections(r, winners, acceptors)
         elif self.on_connections is not None:
@@ -326,6 +540,21 @@ class VectorizedEngine:
                     return self.algo.converged(self.state)
                 return bool(done[live].all())
 
+        # Quiet-round fast-forward: once every node is done and the
+        # algorithm certifies further rounds are no-ops, rounds burned
+        # toward the next checkpoint (e.g. fixed-horizon runs with
+        # check_every > max_rounds) are counted arithmetically instead of
+        # simulated.  The reported round is exactly the one the plain loop
+        # would report — the next checkpoint, capped at the horizon —
+        # so round-count semantics are unchanged.  Suppressed under fault
+        # plans (events could still fire) and while tracing (the skipped
+        # rounds' records would be missing).
+        fast_forward = (
+            self.algo.quiescent_when_done
+            and check_every > 1
+            and self._faults is None
+            and self.trace is None
+        )
         for r in range(1, max_rounds + 1):
             self.step(r)
             self.rounds_executed = r
@@ -334,6 +563,15 @@ class VectorizedEngine:
                     stabilized=True,
                     rounds=r,
                     rounds_after_last_activation=max(0, r - last_activation + 1),
+                    trace=self.trace,
+                )
+            if fast_forward and converged():
+                rounds = min((r // check_every + 1) * check_every, max_rounds)
+                self.rounds_executed = rounds
+                return RunResult(
+                    stabilized=True,
+                    rounds=rounds,
+                    rounds_after_last_activation=max(0, rounds - last_activation + 1),
                     trace=self.trace,
                 )
         return RunResult(

@@ -14,7 +14,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.util.csrops import build_csr, csr_degrees
+from repro.util.csrops import build_csr, csr_degrees, gather_rows
 
 __all__ = ["Graph"]
 
@@ -115,14 +115,9 @@ class Graph:
         seen[0] = True
         while frontier.size:
             # Expand the whole frontier at once via CSR gather.
-            starts = self._indptr[frontier]
-            stops = self._indptr[frontier + 1]
-            total = int((stops - starts).sum())
-            if total == 0:
+            nxt = gather_rows(self._indptr, self._indices, frontier)
+            if nxt.size == 0:
                 break
-            nxt = np.concatenate(
-                [self._indices[a:b] for a, b in zip(starts, stops)]
-            )
             nxt = nxt[~seen[nxt]]
             if nxt.size == 0:
                 break

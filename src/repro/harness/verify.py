@@ -341,6 +341,20 @@ def _verify_a3(table: Table) -> list[CheckResult]:
     return [_check("symmetric PUSH-PULL dominates both restrictions", ok, str(rows))]
 
 
+def _verify_s1(table: Table) -> list[CheckResult]:
+    return [
+        _check(
+            "every trial stabilized at every n",
+            all(table.column("all stabilized")),
+            f"{len(table.rows)} sizes",
+        ),
+        # Polylog growth: at constant Delta on expanders the rounds-vs-n
+        # exponent must stay far below linear (log^2 n over this range
+        # fits a log-log slope of ~0.1-0.3).
+        _slope_check(table, "n", "median rounds", -0.2, 0.45),
+    ]
+
+
 VERIFIERS: dict[str, Callable[[Table], list[CheckResult]]] = {
     "E1": _verify_e1,
     "E2": _verify_e2,
@@ -367,6 +381,7 @@ VERIFIERS: dict[str, Callable[[Table], list[CheckResult]]] = {
     "R1": _verify_r1,
     "R2": _verify_r2,
     "R3": _verify_r3,
+    "S1": _verify_s1,
 }
 
 

@@ -39,18 +39,40 @@ no per-round graph construction or restacking happens at all.  Genuinely
 structure-changing replicas are handled by :func:`stack_csr`, which
 assembles a block-diagonal CSR so the plain segmented kernels batch over
 ``T·n`` vertices directly.
+
+Sparse-activity rounds (the large-n path) add two subset primitives:
+:func:`gather_rows` (concatenated neighbor lists of a row subset, used
+for frontier expansion) and :func:`segmented_random_pick_subset` (uniform
+neighbor choice for an explicit row subset, so a round whose active
+frontier is small never touches the full ``(n,)``/``(nnz,)`` arrays).
+
+Backend registry
+----------------
+The hot kernels dispatch through a named backend registry.  ``"numpy"``
+(always present) is the pure-NumPy implementation below; ``"numba"`` is
+registered at import when the optional :mod:`numba` package is installed
+(see :mod:`repro.util._csrops_numba`) and produces bit-identical results.
+Selection order at import: the ``REPRO_CSROPS_BACKEND`` environment
+variable (``numpy`` / ``numba`` / ``auto``) wins; unset or ``auto`` picks
+``numba`` when available and silently falls back to ``numpy`` otherwise.
+At runtime, :func:`set_backend` switches backends and the module-level
+``backend`` string names the active one.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import os
+from typing import Callable, Sequence
 
 import numpy as np
 
 __all__ = [
     "build_csr",
     "csr_degrees",
+    "gather_rows",
+    "unique_nodes",
     "segmented_random_pick",
+    "segmented_random_pick_subset",
     "segmented_uniform_accept",
     "segmented_uniform_accept_pairs",
     "batched_random_pick",
@@ -58,6 +80,10 @@ __all__ = [
     "batched_uniform_accept",
     "invert_permutations",
     "stack_csr",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
 ]
 
 
@@ -111,7 +137,67 @@ def csr_degrees(indptr: np.ndarray) -> np.ndarray:
     return indptr[1:] - indptr[:-1]
 
 
-def segmented_random_pick(
+def _subset_flat_positions(
+    indptr: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flat CSR positions of ``rows``' entries, concatenated in row order.
+
+    Returns ``(pos, starts, ends)`` where ``pos`` indexes ``indices`` and
+    ``starts[i]..ends[i]`` delimit row ``i``'s segment inside ``pos``.
+    """
+    deg = indptr[rows + 1] - indptr[rows]
+    ends = np.cumsum(deg)
+    starts = ends - deg
+    total = int(ends[-1]) if ends.size else 0
+    if total == 0:
+        return np.empty(0, dtype=np.int64), starts, ends
+    pos = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(starts, deg)
+        + np.repeat(indptr[rows], deg)
+    )
+    return pos, starts, ends
+
+
+def gather_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Concatenated CSR entries (neighbor lists) of ``rows``, in row order.
+
+    The frontier-expansion primitive of the sparse-activity path: one
+    vectorized gather replaces a per-row Python loop of slices.  Rows may
+    repeat; empty rows contribute nothing.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return np.empty(0, dtype=np.int64)
+    pos, _, _ = _subset_flat_positions(indptr, rows)
+    return indices[pos]
+
+
+def unique_nodes(ids: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an integer id array.
+
+    Result-identical to :func:`numpy.unique` but via an explicit
+    sort-and-diff — NumPy ≥ 2.3 routes ``unique`` through a hash table
+    that is an order of magnitude slower at the few-thousand-element
+    sizes frontier rounds produce every round.
+    """
+    if ids.size <= 1:
+        return ids.astype(np.int64, copy=True).reshape(-1)
+    a = np.sort(ids.reshape(-1))
+    keep = np.empty(a.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(a[1:], a[:-1], out=keep[1:])
+    return a[keep]
+
+
+# ---------------------------------------------------------------------------
+# NumPy backend kernels
+# ---------------------------------------------------------------------------
+
+
+def _segmented_random_pick_numpy(
     indptr: np.ndarray,
     indices: np.ndarray,
     rng: np.random.Generator,
@@ -120,37 +206,6 @@ def segmented_random_pick(
     neighbor_mask: np.ndarray | None = None,
     flat_mask: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Uniform random neighbor choice for every (active) row.
-
-    For each row ``u`` with ``active[u]`` true, picks one entry uniformly at
-    random from the row's neighbor list, optionally restricted to neighbors
-    ``v`` with ``neighbor_mask[v]`` true and/or to CSR entries ``i`` with
-    ``flat_mask[i]`` true (a per-*entry* mask, for eligibility that depends
-    on the (row, neighbor) pair rather than the neighbor alone).  Rows that
-    are inactive, empty, or whose restriction leaves no eligible neighbor
-    get ``-1``.
-
-    Parameters
-    ----------
-    indptr, indices
-        CSR adjacency.
-    rng
-        Generator used for the per-row uniform draws.
-    active
-        Boolean array over rows; ``None`` means all rows are active.
-    neighbor_mask
-        Boolean array over vertices restricting eligible neighbors;
-        ``None`` means every neighbor is eligible.
-    flat_mask
-        Boolean array aligned with ``indices`` restricting eligible CSR
-        entries; combined (AND) with ``neighbor_mask`` when both given.
-
-    Returns
-    -------
-    numpy.ndarray
-        ``pick`` of length ``n`` with ``pick[u]`` the chosen neighbor of
-        ``u`` or ``-1``.
-    """
     n = indptr.shape[0] - 1
     pick = np.full(n, -1, dtype=np.int64)
     if active is None:
@@ -199,45 +254,66 @@ def segmented_random_pick(
     return pick
 
 
-def segmented_uniform_accept(
-    senders: np.ndarray,
-    targets: np.ndarray,
-    n: int,
+def _segmented_random_pick_subset_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
     rng: np.random.Generator,
+    vertices: np.ndarray,
+    *,
+    neighbor_mask: np.ndarray | None = None,
+    flat_mask: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Uniform acceptance of one incoming proposal per receiver.
+    vertices = np.asarray(vertices, dtype=np.int64)
+    k = vertices.size
+    pick = np.full(k, -1, dtype=np.int64)
+    if k == 0:
+        return pick
 
-    Given parallel arrays ``senders``/``targets`` (``senders[i]`` proposed to
-    ``targets[i]``), selects for each distinct target one proposer uniformly
-    at random, matching the model's rule that a receiving node accepts an
-    incoming proposal chosen uniformly from the arrivals.
+    if neighbor_mask is None and flat_mask is None:
+        deg = indptr[vertices + 1] - indptr[vertices]
+        rows = np.flatnonzero(deg > 0)
+        if rows.size == 0:
+            return pick
+        offsets = rng.integers(0, deg[rows])
+        pick[rows] = indices[indptr[vertices[rows]] + offsets]
+        return pick
 
-    Returns
-    -------
-    numpy.ndarray
-        ``accepted`` of length ``n`` with ``accepted[v]`` the sender whose
-        proposal ``v`` accepted, or ``-1`` if ``v`` received none.
-    """
-    accepted = np.full(n, -1, dtype=np.int64)
-    receivers, winners = segmented_uniform_accept_pairs(senders, targets, rng)
-    accepted[receivers] = winners
-    return accepted
+    # Masked: gather the selected rows' CSR segments into one flat run,
+    # then reuse the dense masked strategy (running sum + binary search)
+    # on that O(sum deg(vertices)) run instead of the full nnz array.
+    pos, starts, ends = _subset_flat_positions(indptr, vertices)
+    if pos.size == 0:
+        return pick
+    nbrs = indices[pos]
+    if neighbor_mask is not None:
+        _require_bool("neighbor_mask", neighbor_mask)
+        eligible = neighbor_mask[nbrs]
+        if flat_mask is not None:
+            _require_bool("flat_mask", flat_mask)
+            eligible = eligible & flat_mask[pos]
+    else:
+        if flat_mask.shape != indices.shape:
+            raise ValueError("flat_mask must align with indices")
+        _require_bool("flat_mask", flat_mask)
+        eligible = flat_mask[pos]
+    csum = np.cumsum(eligible, dtype=np.int64)
+    cnt_start = np.where(starts > 0, csum[starts - 1], 0)
+    cnt_end = np.where(ends > 0, csum[ends - 1], 0)
+    rows = np.flatnonzero(cnt_end > cnt_start)
+    if rows.size == 0:
+        return pick
+    j = rng.integers(0, (cnt_end - cnt_start)[rows])
+    target_rank = cnt_start[rows] + j + 1
+    loc = np.searchsorted(csum, target_rank, side="left")
+    pick[rows] = nbrs[loc]
+    return pick
 
 
-def segmented_uniform_accept_pairs(
+def _segmented_uniform_accept_pairs_numpy(
     senders: np.ndarray,
     targets: np.ndarray,
     rng: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Compact form of :func:`segmented_uniform_accept`.
-
-    Same acceptance rule and identical RNG consumption, but instead of a
-    dense length-``n`` array it returns the parallel pair
-    ``(receivers, winners)``: each distinct target exactly once, with the
-    sender whose proposal it accepted.  The engines' hot path uses this
-    form to avoid materializing (and re-scanning) a dense per-vertex
-    array when only the established connections matter.
-    """
     senders = np.asarray(senders, dtype=np.int64)
     targets = np.asarray(targets, dtype=np.int64)
     if senders.shape != targets.shape:
@@ -267,7 +343,7 @@ def segmented_uniform_accept_pairs(
     return t_sorted[starts], s_sorted[chosen]
 
 
-def batched_random_pick(
+def _batched_random_pick_numpy(
     indptr: np.ndarray,
     indices: np.ndarray,
     rng: np.random.Generator,
@@ -276,34 +352,6 @@ def batched_random_pick(
     neighbor_mask: np.ndarray | None = None,
     flat_mask: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Per-replica uniform neighbor choice over one *shared* CSR topology.
-
-    Semantically equivalent to calling :func:`segmented_random_pick` once
-    per replica with that replica's masks, but all ``T`` replicas are
-    served by a single cumulative sum and a single binary search — the
-    per-round NumPy dispatch overhead is paid once instead of ``T`` times.
-
-    Parameters
-    ----------
-    indptr, indices
-        CSR adjacency shared by every replica (static-topology runs).
-    rng
-        Generator for the per-(replica, row) uniform draws.
-    active
-        ``(T, n)`` boolean sender mask (required: it fixes the replica
-        count ``T``).
-    neighbor_mask
-        Optional ``(T, n)`` boolean per-replica vertex eligibility.
-    flat_mask
-        Optional ``(T, nnz)`` boolean per-replica CSR-entry eligibility,
-        combined (AND) with ``neighbor_mask`` when both given.
-
-    Returns
-    -------
-    numpy.ndarray
-        ``(T, n)`` picks; ``pick[t, u]`` is the chosen neighbor of ``u``
-        in replica ``t`` or ``-1``.
-    """
     _require_bool("active", active)
     if active.ndim != 2:
         raise ValueError("active must have shape (T, n)")
@@ -357,16 +405,287 @@ def batched_random_pick(
     return pick
 
 
-def invert_permutations(perm: np.ndarray) -> np.ndarray:
-    """Row-wise inverse of a ``(T, n)`` batch of permutations.
+def _batched_permuted_pick_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+    perm: np.ndarray,
+    active: np.ndarray,
+    *,
+    neighbor_mask: np.ndarray | None = None,
+    perm_inv: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    _require_bool("active", active)
+    if active.ndim != 2:
+        raise ValueError("active must have shape (T, n)")
+    T, n = active.shape
+    if perm.shape != (T, n):
+        raise ValueError("perm must have shape (T, n)")
+    if indptr.shape[0] != n + 1:
+        raise ValueError("active rows must match the CSR vertex count")
+    p_flat = perm.reshape(T * n)
 
-    ``inv[t, perm[t, u]] == u`` — one scatter for the whole batch.
-    """
-    inv = np.empty_like(perm)
-    np.put_along_axis(
-        inv, perm, np.arange(perm.shape[1], dtype=perm.dtype)[None, :], axis=1
+    if neighbor_mask is None:
+        if perm_inv is None:
+            perm_inv = invert_permutations(perm)
+        # Unmasked: gather senders to base vertices, draw one neighbor
+        # offset each against the base degrees, map the pick forward.
+        sflat = np.flatnonzero(active)
+        rows = sflat % n
+        base_off = sflat - rows
+        u = perm_inv.reshape(T * n)[sflat]
+        d = (indptr[u + 1] - indptr[u])
+        ok = d > 0
+        if not ok.all():
+            sflat, base_off, u, d = sflat[ok], base_off[ok], u[ok], d[ok]
+        if sflat.size == 0:
+            return sflat, sflat
+        # floor(u * d) for u ~ U[0, 1): uniform over [0, d) up to an
+        # O(d / 2^53) rounding bias — immaterial here, and roughly half
+        # the cost of a per-element bounded integer draw.
+        offsets = (rng.random(d.size) * d).astype(np.int64)
+        w = indices[indptr[u] + offsets]
+        return sflat, base_off + p_flat[base_off + w]
+
+    # Masked: transport both masks to base coordinates
+    # (mask_base[t, u] = mask[t, perm[t, u]]), pick on the base CSR, then
+    # map both endpoints forward.  The inner pick dispatches through the
+    # registry, so a compiled backend accelerates this path too.
+    active_base = np.take_along_axis(active, perm, axis=1)
+    nb_base = np.take_along_axis(neighbor_mask, perm, axis=1)
+    picks = batched_random_pick(
+        indptr, indices, rng, active_base, neighbor_mask=nb_base
     )
-    return inv
+    pf = picks.reshape(T * n)
+    sel = np.flatnonzero(pf >= 0)  # flat *base* ids t*n + u
+    rows = sel % n
+    base_off = sel - rows
+    sflat = base_off + p_flat[sel]
+    tflat = base_off + p_flat[base_off + pf[sel]]
+    return sflat, tflat
+
+
+# ---------------------------------------------------------------------------
+# Backend registry and public dispatchers
+# ---------------------------------------------------------------------------
+
+#: name of the active backend; switch with :func:`set_backend`.
+backend: str = "numpy"
+
+_DISPATCHED = (
+    "segmented_random_pick",
+    "segmented_random_pick_subset",
+    "segmented_uniform_accept_pairs",
+    "batched_random_pick",
+    "batched_permuted_pick",
+)
+
+_BACKENDS: dict[str, dict[str, Callable]] = {}
+
+
+def register_backend(name: str, table: dict[str, Callable]) -> None:
+    """Register (or replace) a kernel backend.
+
+    ``table`` maps kernel names (a subset of the dispatched kernels) to
+    implementations with the public signatures; kernels a backend omits
+    fall back to the ``numpy`` implementations.
+    """
+    unknown = set(table) - set(_DISPATCHED)
+    if unknown:
+        raise ValueError(f"unknown kernel name(s) in backend table: {sorted(unknown)}")
+    _BACKENDS[name] = dict(table)
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend() -> str:
+    """Name of the active backend."""
+    return backend
+
+
+def set_backend(name: str) -> None:
+    """Switch the active kernel backend (``"numpy"`` is always available)."""
+    global backend
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown csrops backend {name!r}; available: {available_backends()}"
+        )
+    backend = name
+
+
+def _impl(fname: str) -> Callable:
+    table = _BACKENDS.get(backend)
+    if table is None:
+        raise ValueError(
+            f"active csrops backend {backend!r} is not registered; "
+            f"available: {available_backends()}"
+        )
+    fn = table.get(fname)
+    return fn if fn is not None else _BACKENDS["numpy"][fname]
+
+
+def segmented_random_pick(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    active: np.ndarray | None = None,
+    neighbor_mask: np.ndarray | None = None,
+    flat_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Uniform random neighbor choice for every (active) row.
+
+    For each row ``u`` with ``active[u]`` true, picks one entry uniformly at
+    random from the row's neighbor list, optionally restricted to neighbors
+    ``v`` with ``neighbor_mask[v]`` true and/or to CSR entries ``i`` with
+    ``flat_mask[i]`` true (a per-*entry* mask, for eligibility that depends
+    on the (row, neighbor) pair rather than the neighbor alone).  Rows that
+    are inactive, empty, or whose restriction leaves no eligible neighbor
+    get ``-1``.
+
+    Parameters
+    ----------
+    indptr, indices
+        CSR adjacency.
+    rng
+        Generator used for the per-row uniform draws.
+    active
+        Boolean array over rows; ``None`` means all rows are active.
+    neighbor_mask
+        Boolean array over vertices restricting eligible neighbors;
+        ``None`` means every neighbor is eligible.
+    flat_mask
+        Boolean array aligned with ``indices`` restricting eligible CSR
+        entries; combined (AND) with ``neighbor_mask`` when both given.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``pick`` of length ``n`` with ``pick[u]`` the chosen neighbor of
+        ``u`` or ``-1``.
+    """
+    return _impl("segmented_random_pick")(
+        indptr, indices, rng,
+        active=active, neighbor_mask=neighbor_mask, flat_mask=flat_mask,
+    )
+
+
+def segmented_random_pick_subset(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+    vertices: np.ndarray,
+    *,
+    neighbor_mask: np.ndarray | None = None,
+    flat_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Uniform random neighbor choice for an explicit row subset.
+
+    Sparse-frontier form of :func:`segmented_random_pick`: only the rows
+    listed in ``vertices`` are touched, so the cost is
+    ``O(sum deg(vertices))`` instead of ``O(nnz)``.  Masks keep their
+    global shapes (``neighbor_mask`` over vertices, ``flat_mask`` aligned
+    with ``indices``); there is no ``active`` mask — callers pass exactly
+    the rows that should pick.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``pick`` aligned with ``vertices``: the chosen neighbor of
+        ``vertices[i]`` or ``-1`` when no neighbor is eligible.
+    """
+    return _impl("segmented_random_pick_subset")(
+        indptr, indices, rng, vertices,
+        neighbor_mask=neighbor_mask, flat_mask=flat_mask,
+    )
+
+
+def segmented_uniform_accept(
+    senders: np.ndarray,
+    targets: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Uniform acceptance of one incoming proposal per receiver.
+
+    Given parallel arrays ``senders``/``targets`` (``senders[i]`` proposed to
+    ``targets[i]``), selects for each distinct target one proposer uniformly
+    at random, matching the model's rule that a receiving node accepts an
+    incoming proposal chosen uniformly from the arrivals.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``accepted`` of length ``n`` with ``accepted[v]`` the sender whose
+        proposal ``v`` accepted, or ``-1`` if ``v`` received none.
+    """
+    accepted = np.full(n, -1, dtype=np.int64)
+    receivers, winners = segmented_uniform_accept_pairs(senders, targets, rng)
+    accepted[receivers] = winners
+    return accepted
+
+
+def segmented_uniform_accept_pairs(
+    senders: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compact form of :func:`segmented_uniform_accept`.
+
+    Same acceptance rule and identical RNG consumption, but instead of a
+    dense length-``n`` array it returns the parallel pair
+    ``(receivers, winners)``: each distinct target exactly once, with the
+    sender whose proposal it accepted.  The engines' hot path uses this
+    form to avoid materializing (and re-scanning) a dense per-vertex
+    array when only the established connections matter.
+    """
+    return _impl("segmented_uniform_accept_pairs")(senders, targets, rng)
+
+
+def batched_random_pick(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+    active: np.ndarray,
+    *,
+    neighbor_mask: np.ndarray | None = None,
+    flat_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-replica uniform neighbor choice over one *shared* CSR topology.
+
+    Semantically equivalent to calling :func:`segmented_random_pick` once
+    per replica with that replica's masks, but all ``T`` replicas are
+    served by a single cumulative sum and a single binary search — the
+    per-round NumPy dispatch overhead is paid once instead of ``T`` times.
+
+    Parameters
+    ----------
+    indptr, indices
+        CSR adjacency shared by every replica (static-topology runs).
+    rng
+        Generator for the per-(replica, row) uniform draws.
+    active
+        ``(T, n)`` boolean sender mask (required: it fixes the replica
+        count ``T``).
+    neighbor_mask
+        Optional ``(T, n)`` boolean per-replica vertex eligibility.
+    flat_mask
+        Optional ``(T, nnz)`` boolean per-replica CSR-entry eligibility,
+        combined (AND) with ``neighbor_mask`` when both given.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(T, n)`` picks; ``pick[t, u]`` is the chosen neighbor of ``u``
+        in replica ``t`` or ``-1``.
+    """
+    return _impl("batched_random_pick")(
+        indptr, indices, rng, active,
+        neighbor_mask=neighbor_mask, flat_mask=flat_mask,
+    )
 
 
 def batched_permuted_pick(
@@ -419,53 +738,22 @@ def batched_permuted_pick(
         (``flat = t*n + v``): each sender that found an eligible neighbor,
         with its pick.
     """
-    _require_bool("active", active)
-    if active.ndim != 2:
-        raise ValueError("active must have shape (T, n)")
-    T, n = active.shape
-    if perm.shape != (T, n):
-        raise ValueError("perm must have shape (T, n)")
-    if indptr.shape[0] != n + 1:
-        raise ValueError("active rows must match the CSR vertex count")
-    p_flat = perm.reshape(T * n)
-
-    if neighbor_mask is None:
-        if perm_inv is None:
-            perm_inv = invert_permutations(perm)
-        # Unmasked: gather senders to base vertices, draw one neighbor
-        # offset each against the base degrees, map the pick forward.
-        sflat = np.flatnonzero(active)
-        rows = sflat % n
-        base_off = sflat - rows
-        u = perm_inv.reshape(T * n)[sflat]
-        d = (indptr[u + 1] - indptr[u])
-        ok = d > 0
-        if not ok.all():
-            sflat, base_off, u, d = sflat[ok], base_off[ok], u[ok], d[ok]
-        if sflat.size == 0:
-            return sflat, sflat
-        # floor(u * d) for u ~ U[0, 1): uniform over [0, d) up to an
-        # O(d / 2^53) rounding bias — immaterial here, and roughly half
-        # the cost of a per-element bounded integer draw.
-        offsets = (rng.random(d.size) * d).astype(np.int64)
-        w = indices[indptr[u] + offsets]
-        return sflat, base_off + p_flat[base_off + w]
-
-    # Masked: transport both masks to base coordinates
-    # (mask_base[t, u] = mask[t, perm[t, u]]), pick on the base CSR, then
-    # map both endpoints forward.
-    active_base = np.take_along_axis(active, perm, axis=1)
-    nb_base = np.take_along_axis(neighbor_mask, perm, axis=1)
-    picks = batched_random_pick(
-        indptr, indices, rng, active_base, neighbor_mask=nb_base
+    return _impl("batched_permuted_pick")(
+        indptr, indices, rng, perm, active,
+        neighbor_mask=neighbor_mask, perm_inv=perm_inv,
     )
-    pf = picks.reshape(T * n)
-    sel = np.flatnonzero(pf >= 0)  # flat *base* ids t*n + u
-    rows = sel % n
-    base_off = sel - rows
-    sflat = base_off + p_flat[sel]
-    tflat = base_off + p_flat[base_off + pf[sel]]
-    return sflat, tflat
+
+
+def invert_permutations(perm: np.ndarray) -> np.ndarray:
+    """Row-wise inverse of a ``(T, n)`` batch of permutations.
+
+    ``inv[t, perm[t, u]] == u`` — one scatter for the whole batch.
+    """
+    inv = np.empty_like(perm)
+    np.put_along_axis(
+        inv, perm, np.arange(perm.shape[1], dtype=perm.dtype)[None, :], axis=1
+    )
+    return inv
 
 
 def batched_uniform_accept(
@@ -528,3 +816,45 @@ def stack_csr(
         indptr[t * n + 1 : (t + 1) * n + 1] = ip[1:] + nnz_off[t]
         indices[nnz_off[t] : nnz_off[t + 1]] = ind + t * n
     return indptr, indices
+
+
+# ---------------------------------------------------------------------------
+# Backend registration and import-time selection
+# ---------------------------------------------------------------------------
+
+register_backend(
+    "numpy",
+    {
+        "segmented_random_pick": _segmented_random_pick_numpy,
+        "segmented_random_pick_subset": _segmented_random_pick_subset_numpy,
+        "segmented_uniform_accept_pairs": _segmented_uniform_accept_pairs_numpy,
+        "batched_random_pick": _batched_random_pick_numpy,
+        "batched_permuted_pick": _batched_permuted_pick_numpy,
+    },
+)
+
+
+def _init_backend_from_env() -> None:
+    choice = os.environ.get("REPRO_CSROPS_BACKEND", "auto").strip().lower() or "auto"
+    if choice not in ("auto", "numpy", "numba"):
+        raise ValueError(
+            f"REPRO_CSROPS_BACKEND={choice!r} is not one of auto/numpy/numba"
+        )
+    if choice in ("auto", "numba"):
+        try:
+            from repro.util import _csrops_numba
+        except ImportError:
+            _csrops_numba = None
+        if _csrops_numba is not None and _csrops_numba.HAVE_NUMBA:
+            register_backend("numba", _csrops_numba.make_table())
+            set_backend("numba")
+            return
+        if choice == "numba":
+            raise ImportError(
+                "REPRO_CSROPS_BACKEND=numba requires the optional numba "
+                "package (pip install 'repro[numba]')"
+            )
+    set_backend("numpy")
+
+
+_init_backend_from_env()

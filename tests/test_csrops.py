@@ -9,8 +9,10 @@ from hypothesis import given, settings, strategies as st
 from repro.util.csrops import (
     build_csr,
     csr_degrees,
+    gather_rows,
     segmented_random_pick,
     segmented_uniform_accept,
+    unique_nodes,
 )
 
 
@@ -46,6 +48,10 @@ class TestBuildCsr:
         with pytest.raises(ValueError):
             build_csr(3, np.array([[0, 1], [1, 0]]))
 
+    def test_rejects_same_orientation_duplicate(self):
+        with pytest.raises(ValueError):
+            build_csr(4, np.array([[0, 1], [2, 3], [0, 1]]))
+
     def test_rejects_out_of_range(self):
         with pytest.raises(ValueError):
             build_csr(3, np.array([[0, 3]]))
@@ -72,6 +78,65 @@ class TestBuildCsr:
                 assert (min(u, int(v)), max(u, int(v))) in edge_set
         total = sum(indptr[u + 1] - indptr[u] for u in range(n))
         assert total == 2 * len(edge_set)
+
+
+class TestGatherRows:
+    def test_matches_per_row_slices(self):
+        indptr, indices = build_csr(
+            5, np.array([[0, 1], [0, 2], [1, 2], [3, 4]])
+        )
+        rows = np.array([2, 0, 2, 4], dtype=np.int64)
+        expected = np.concatenate(
+            [indices[indptr[u] : indptr[u + 1]] for u in rows]
+        )
+        assert np.array_equal(gather_rows(indptr, indices, rows), expected)
+
+    def test_empty_rows_and_empty_subset(self):
+        indptr, indices = build_csr(4, np.array([[0, 1]]))
+        assert gather_rows(indptr, indices, np.array([2, 3])).size == 0
+        assert gather_rows(
+            indptr, indices, np.empty(0, dtype=np.int64)
+        ).size == 0
+
+    @given(edge_lists(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_random_subsets_match_loop(self, case, seed):
+        n, edges = case
+        indptr, indices = build_csr(n, edges)
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, n, size=rng.integers(0, 2 * n))
+        expected = (
+            np.concatenate([indices[indptr[u] : indptr[u + 1]] for u in rows])
+            if rows.size
+            else np.empty(0, dtype=np.int64)
+        )
+        assert np.array_equal(gather_rows(indptr, indices, rows), expected)
+
+
+class TestUniqueNodes:
+    def test_matches_numpy_unique(self):
+        ids = np.array([7, 3, 3, 0, 7, 12, 0])
+        assert np.array_equal(unique_nodes(ids), np.unique(ids))
+
+    def test_empty_and_singleton(self):
+        assert unique_nodes(np.empty(0, dtype=np.int64)).size == 0
+        assert unique_nodes(np.array([4])).tolist() == [4]
+
+    def test_result_is_new_array(self):
+        ids = np.array([5])
+        out = unique_nodes(ids)
+        out[0] = 9
+        assert ids[0] == 5
+
+    @given(
+        st.lists(st.integers(0, 40), max_size=200),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=80)
+    def test_random_arrays_match_numpy_unique(self, values, seed):
+        ids = np.asarray(values, dtype=np.int64)
+        np.random.default_rng(seed).shuffle(ids)
+        assert np.array_equal(unique_nodes(ids), np.unique(ids))
 
 
 class TestSegmentedRandomPick:

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.util import _csrops_numba, csrops
 from repro.util.csrops import (
     batched_random_pick,
     batched_uniform_accept,
@@ -20,7 +21,22 @@ from repro.util.csrops import (
     segmented_uniform_accept,
     stack_csr,
 )
-from tests.test_csrops_oracle import reference_pick_support
+from tests.test_csrops_oracle import backend_params, reference_pick_support
+
+
+@pytest.fixture(autouse=True, scope="module", params=backend_params())
+def csrops_backend(request):
+    """Run the whole batched-oracle suite once per kernel backend."""
+    name = request.param
+    added = name not in csrops.available_backends()
+    if added:
+        csrops.register_backend(name, _csrops_numba.make_table())
+    prev = csrops.get_backend()
+    csrops.set_backend(name)
+    yield name
+    csrops.set_backend(prev)
+    if added:
+        csrops._BACKENDS.pop(name, None)
 
 
 @st.composite

@@ -14,11 +14,38 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.util import _csrops_numba, csrops
 from repro.util.csrops import (
     build_csr,
     segmented_random_pick,
+    segmented_random_pick_subset,
     segmented_uniform_accept,
 )
+
+
+def backend_params() -> list[str]:
+    """Every registered backend, plus the numba kernel *table* running as
+    plain Python when the JIT itself is absent (the two-phase algorithms
+    get oracle coverage everywhere)."""
+    names = list(csrops.available_backends())
+    if "numba" not in names:
+        names.append("numba-python")
+    return names
+
+
+@pytest.fixture(autouse=True, scope="module", params=backend_params())
+def csrops_backend(request):
+    """Run the whole oracle suite once per kernel backend."""
+    name = request.param
+    added = name not in csrops.available_backends()
+    if added:
+        csrops.register_backend(name, _csrops_numba.make_table())
+    prev = csrops.get_backend()
+    csrops.set_backend(name)
+    yield name
+    csrops.set_backend(prev)
+    if added:
+        csrops._BACKENDS.pop(name, None)
 
 
 def reference_pick_support(indptr, indices, active, neighbor_mask, flat_mask):
@@ -122,3 +149,60 @@ class TestAcceptAgainstOracle:
                 assert (int(accepted[t]), t) in proposal_set
             else:
                 assert accepted[t] == -1
+
+
+class TestSubsetPickAgainstOracle:
+    """segmented_random_pick_subset is the sparse-frontier pick primitive:
+    for the listed rows it must have exactly the dense kernel's support."""
+
+    @given(csr_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=100)
+    def test_subset_picks_in_reference_support(self, case, seed):
+        indptr, indices, _active, nmask, fmask = case
+        n = indptr.shape[0] - 1
+        rng = np.random.default_rng(seed)
+        vertices = np.flatnonzero(np.random.default_rng(seed + 1).random(n) < 0.6)
+        support = reference_pick_support(indptr, indices, None, nmask, fmask)
+        for _ in range(3):
+            pick = segmented_random_pick_subset(
+                indptr, indices, rng, vertices,
+                neighbor_mask=nmask, flat_mask=fmask,
+            )
+            assert pick.shape == vertices.shape
+            for i, u in enumerate(vertices):
+                assert int(pick[i]) in support[u], (int(u), int(pick[i]), support[u])
+
+    @given(csr_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_every_support_element_reachable(self, case, seed):
+        indptr, indices, _active, nmask, fmask = case
+        n = indptr.shape[0] - 1
+        rng = np.random.default_rng(seed)
+        vertices = np.flatnonzero(np.random.default_rng(seed + 1).random(n) < 0.6)
+        support = reference_pick_support(indptr, indices, None, nmask, fmask)
+        seen: list[set[int]] = [set() for _ in range(vertices.size)]
+        # Max degree 9, 200 draws: miss probability < 9 * (8/9)^200 ~ 1e-10.
+        for _ in range(200):
+            pick = segmented_random_pick_subset(
+                indptr, indices, rng, vertices,
+                neighbor_mask=nmask, flat_mask=fmask,
+            )
+            for i, p in enumerate(pick):
+                seen[i].add(int(p))
+        for i, u in enumerate(vertices):
+            assert seen[i] == support[u]
+
+    def test_empty_subset(self):
+        indptr, indices = build_csr(3, np.array([[0, 1], [1, 2]]))
+        pick = segmented_random_pick_subset(
+            indptr, indices, np.random.default_rng(0),
+            np.empty(0, dtype=np.int64),
+        )
+        assert pick.size == 0
+
+    def test_repeated_rows_pick_independently(self):
+        indptr, indices = build_csr(3, np.array([[0, 1], [0, 2]]))
+        rng = np.random.default_rng(3)
+        vertices = np.zeros(200, dtype=np.int64)
+        picks = segmented_random_pick_subset(indptr, indices, rng, vertices)
+        assert set(picks.tolist()) == {1, 2}

@@ -1,0 +1,241 @@
+"""Sparse-activity rounds: gating, equivalence, and quiet-round skipping.
+
+The sparse frontier path must be *distribution-equivalent* to dense
+rounds (same stabilization statistics, same elected leader, clean traces)
+and must engage exactly under its advertised conditions — never when
+faults, tags, staggered activation, or per-round instrumentation need
+full-width rounds.  Quiet-round fast-forward must report bit-identical
+round counts to the plain loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.blind_gossip import (
+    BlindGossipBatched,
+    BlindGossipVectorized,
+    make_blind_gossip_nodes,
+)
+from repro.conformance import check_trace
+from repro.core.batched import BatchedVectorizedEngine
+from repro.core.engine import ReferenceEngine
+from repro.core.monitor import all_leaders_are
+from repro.core.payload import UIDSpace
+from repro.core.vectorized import VectorizedEngine, _resolve_sparse_mode
+from repro.graphs import families
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.harness.experiments import uid_keys_random
+
+
+def _engine(n, seed, *, degree=4, sparse=None, collect_trace=False):
+    g = families.random_regular(n, degree, seed=7)
+    keys = uid_keys_random(n, 11)
+    return VectorizedEngine(
+        StaticDynamicGraph(g),
+        BlindGossipVectorized(keys),
+        seed=seed,
+        sparse=sparse,
+        collect_trace=collect_trace,
+    )
+
+
+class TestModeResolution:
+    def test_explicit_arg_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE", "off")
+        assert _resolve_sparse_mode("force") == "force"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE", "force")
+        assert _resolve_sparse_mode(None) == "force"
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPARSE", raising=False)
+        assert _resolve_sparse_mode(None) == "auto"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_sparse_mode("banana")
+        with pytest.raises(ValueError):
+            _engine(16, 0, sparse="banana")
+
+
+class TestGating:
+    def test_off_never_builds_a_frontier(self):
+        eng = _engine(32, 0, sparse="off")
+        eng.run(5000)
+        assert eng._undone_mask is None
+
+    def test_force_builds_a_frontier(self):
+        eng = _engine(32, 0, sparse="force")
+        eng.run(5000)
+        assert eng._undone_mask is not None
+
+    def test_auto_stays_dense_below_min_n(self):
+        eng = _engine(64, 0, sparse="auto")
+        eng.run(5000)
+        assert eng._undone_mask is None
+
+    def test_instrumented_runs_stay_dense(self):
+        """A per-round connection callback must see every connection,
+        including passive done-done ones the frontier never simulates."""
+        eng = _engine(32, 0, sparse="force")
+        eng.on_connections = lambda r, winners, acceptors: None
+        eng.run(5000)
+        assert eng._undone_mask is None
+
+    def test_staggered_activation_disables_sparse(self):
+        g = families.random_regular(16, 4, seed=7)
+        keys = uid_keys_random(16, 11)
+        act = np.ones(16, dtype=np.int64)
+        act[3] = 5
+        eng = VectorizedEngine(
+            StaticDynamicGraph(g),
+            BlindGossipVectorized(keys),
+            seed=0,
+            activation_rounds=act,
+            sparse="force",
+        )
+        assert not eng._sparse_ok
+
+    def test_fault_plan_disables_sparse(self):
+        from repro.faults import ConnectionDropModel, FaultPlan
+
+        g = families.random_regular(16, 4, seed=7)
+        keys = uid_keys_random(16, 11)
+        eng = VectorizedEngine(
+            StaticDynamicGraph(g),
+            BlindGossipVectorized(keys),
+            seed=0,
+            fault_plan=FaultPlan(connection_drop=ConnectionDropModel(p=0.5)),
+            sparse="force",
+        )
+        assert not eng._sparse_ok
+
+
+class TestEquivalence:
+    def test_force_elects_the_minimum_key(self):
+        eng = _engine(48, 3, sparse="force")
+        res = eng.run(5000)
+        assert res.stabilized
+        assert (eng.state.best == eng.state.target).all()
+
+    def test_distribution_band_force_vs_off(self):
+        """Sparse rounds are a different sampling of the same round
+        distribution: mean stabilization over seeds stays in a tight
+        band of the dense path's."""
+        means = {}
+        for mode in ("off", "force"):
+            rounds = [
+                _engine(48, s, sparse=mode).run(5000).rounds for s in range(30)
+            ]
+            means[mode] = float(np.mean(rounds))
+        assert means["force"] <= 1.25 * means["off"]
+        assert means["off"] <= 1.25 * means["force"]
+
+    def test_traced_equals_untraced_under_force(self):
+        for seed in range(3):
+            a = _engine(32, seed, sparse="force", collect_trace=False)
+            b = _engine(32, seed, sparse="force", collect_trace=True)
+            ra, rb = a.run(5000), b.run(5000)
+            assert (ra.stabilized, ra.rounds) == (rb.stabilized, rb.rounds)
+            assert np.array_equal(a.state.best, b.state.best)
+            assert rb.trace is not None
+
+    def test_sparse_trace_passes_model_invariants(self):
+        g = families.random_regular(32, 4, seed=7)
+        keys = uid_keys_random(32, 11)
+        eng = VectorizedEngine(
+            StaticDynamicGraph(g),
+            BlindGossipVectorized(keys),
+            seed=2,
+            sparse="force",
+            collect_trace=True,
+        )
+        res = eng.run(5000)
+        assert res.stabilized
+        assert check_trace(res.trace, StaticDynamicGraph(g)) == []
+
+
+class TestAutoEngagement:
+    @pytest.mark.slow
+    def test_auto_engages_at_large_n(self):
+        eng = _engine(4096, 0, sparse="auto")
+        res = eng.run(5000)
+        assert res.stabilized
+        assert eng._undone_mask is not None
+
+
+class _NoQuiescence(BlindGossipVectorized):
+    """Same algorithm, fast-forward declaration withdrawn."""
+
+    quiescent_when_done = False
+
+
+class TestQuietRoundFastForward:
+    @pytest.mark.parametrize("check_every", [2, 4, 7])
+    def test_reported_rounds_identical_to_plain_loop(self, check_every):
+        g = families.random_regular(32, 4, seed=7)
+        keys = uid_keys_random(32, 11)
+        for seed in range(5):
+            fast = VectorizedEngine(
+                StaticDynamicGraph(g), BlindGossipVectorized(keys), seed=seed
+            ).run(5000, check_every=check_every)
+            plain = VectorizedEngine(
+                StaticDynamicGraph(g), _NoQuiescence(keys), seed=seed
+            ).run(5000, check_every=check_every)
+            assert (fast.stabilized, fast.rounds) == (plain.stabilized, plain.rounds)
+
+    def test_reference_quiescent_stop_identical(self):
+        g = families.random_regular(12, 3, seed=3)
+        for seed in range(4):
+            results = []
+            for quiescent in (False, True):
+                us = UIDSpace(12, seed=9)
+                eng = ReferenceEngine(
+                    StaticDynamicGraph(g), make_blind_gossip_nodes(us), seed=seed
+                )
+                res = eng.run(
+                    3000,
+                    all_leaders_are(us.min_uid()),
+                    check_every=5,
+                    quiescent_stop=quiescent,
+                )
+                results.append((res.stabilized, res.rounds))
+            assert results[0] == results[1]
+
+
+class TestBatchedSparse:
+    def _engine(self, T, n, seed, *, sparse=None):
+        g = families.random_regular(n, 4, seed=7)
+        keys = uid_keys_random(n, 11)
+        return BatchedVectorizedEngine(
+            StaticDynamicGraph(g),
+            BlindGossipBatched(keys),
+            seeds=np.arange(seed, seed + T),
+            sparse=sparse,
+        )
+
+    def test_force_elects_minimum_in_every_replica(self):
+        eng = self._engine(4, 24, 0, sparse="force")
+        res = eng.run(5000)
+        assert res.stabilized.all()
+        assert (eng.state.best == eng.state.target).all()
+
+    def test_distribution_band_force_vs_off(self):
+        means = {}
+        for mode in ("off", "force"):
+            res = self._engine(24, 24, 5, sparse=mode).run(5000)
+            assert res.stabilized.all()
+            means[mode] = float(np.mean(res.rounds))
+        assert means["force"] <= 1.3 * means["off"]
+        assert means["off"] <= 1.3 * means["force"]
+
+    def test_force_builds_frontier_off_does_not(self):
+        on = self._engine(2, 24, 0, sparse="force")
+        on.run(5000)
+        assert on._undone_fmask is not None
+        off = self._engine(2, 24, 0, sparse="off")
+        off.run(5000)
+        assert off._undone_fmask is None
