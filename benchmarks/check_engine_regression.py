@@ -1,44 +1,56 @@
 """CI gate: fail on >30% engine-throughput regression vs the committed baseline.
 
-``benchmarks/bench_engine.py -k "churn or fault or campaign"`` appends one
-record per run to ``BENCH_engine.json`` at the repo root.  This script
-compares the newest record (the current run) against the *per-metric
-median of all committed prior records* on dimensionless ratios — machine
-speed cancels out of each, so the gate is meaningful across runner
-hardware, and the median baseline keeps one anomalously lucky (or
-unlucky) committed run from poisoning the gate for every later run:
+``benchmarks/bench_engine.py -k "churn or fault or campaign or trace or
+sparse or large or pool or memo"`` appends one record per run to
+``BENCH_engine.json`` at the repo root.  This script compares the newest
+record (the current run) against the *per-metric median of all committed
+prior records* on dimensionless ratios — machine speed cancels out of
+each, so the gate is meaningful across runner hardware, and the median
+baseline keeps one anomalously lucky (or unlucky) committed run from
+poisoning the gate for every later run.  Output is a per-metric trend
+table: median baseline, current value, percent delta, verdict.
+
+Gated ratios (and their absolute caps/floors, mirroring the bench
+asserts):
 
 - ``churn_trial_speedup``   (batched sweep over per-trial loop; higher is
   better) must not drop below 70% of the baseline;
 - ``permuted_over_static``  (fast-path round cost over static round cost;
   lower is better) must not grow above 130% of the baseline;
-- ``empty_plan_overhead``   (batched round cost with an empty FaultPlan
-  over the faultless engine; ~1.0 by construction) must not grow above
-  130% of the baseline, and never above the absolute 1.05 cap the bench
-  itself asserts;
-- ``campaign_checkpoint_overhead`` (durable checkpointed campaign over a
-  raw experiment loop on the same cells) — same 130%-of-baseline rule
-  and the same absolute 1.05 cap: checkpointing must stay ≤5% overhead;
-- ``trace_disabled_overhead``  (batched round cost with
-  ``collect_trace=False`` over the default engine; ~1.0 by construction)
-  — same 130%-of-baseline rule and the same absolute 1.05 cap:
-  opt-in trace capture must cost nothing when not opted into;
+- ``empty_plan_overhead``, ``campaign_checkpoint_overhead``,
+  ``trace_disabled_overhead`` (~1.0 by construction; lower is better) —
+  130%-of-baseline rule plus an absolute 1.05 cap;
 - ``sparse_frontier_speedup`` (dense endgame round over sparse-frontier
-  endgame round at n=10^5; higher is better) must not drop below 70% of
-  the baseline, and never below the absolute 5.0 floor the bench itself
-  asserts;
+  endgame round at n=10^5; higher is better) — 70%-of-baseline rule plus
+  an absolute 5.0 floor;
 - ``largen_ms_ratio_n1e6_over_n1e5`` (chunked-engine per-round cost at
   n=10^6 over n=10^5; lower is better) — 130%-of-baseline rule plus an
-  absolute 25.0 cap: a 10× network must not cost superlinearly more per
-  round.  The absolute ``ms_per_round_n1e5`` / ``ms_per_round_n1e6``
-  times are recorded alongside as machine-dependent context and must be
-  present, but only their ratio is gated.
+  absolute 25.0 cap;
+- ``pool_reuse_overhead``   (warm persistent-pool wave over fork-per-unit
+  wave; lower is better) — 130%-of-baseline rule plus an absolute 1.0
+  cap: dispatching through the reused pool must never cost more than the
+  forking it replaces;
+- ``graph_memo_hit_ratio``  (shared-graph memo hits over total builds in
+  the bench sweep; higher is better) — absolute 0.85 floor;
+- ``graph_memo_warm_speedup`` (cold graph build over warm mmap attach;
+  higher is better) — 70%-of-baseline rule plus an absolute 5.0 floor;
+- ``campaign_parallel_speedup`` (serial campaign wall time over the
+  pooled campaign) is gated **conditionally**: the absolute 2.0 floor
+  applies only when the record's ``pool_cpu_count`` is ≥4 — a
+  single-core runner records the (possibly <1×) ratio as context and
+  passes, because the parallel plane cannot beat serial without cores.
+  It is never compared against the baseline median, which may mix
+  runners with different core counts.
+
+Absolute context values (``ms_per_round_n1e5``, ``ms_per_round_n1e6``,
+``pool_cpu_count``) must be present — their producing benches must have
+run — but their magnitudes are machine-dependent and not gated.
 
 A ratio present in the current record but absent from every prior record
 is a *new metric* (added after the baselines were committed): it is
-reported and passes; the next committed record becomes its baseline.  A ratio missing
-from the *current* record is a failure — the bench that produces it did
-not run.
+reported and passes; the next committed record becomes its baseline.  A
+ratio missing from the *current* record is a failure — the bench that
+produces it did not run.
 
 Usage::
 
@@ -63,17 +75,56 @@ ABSOLUTE_MAX = {
     "campaign_checkpoint_overhead": 1.05,
     "trace_disabled_overhead": 1.05,
     "largen_ms_ratio_n1e6_over_n1e5": 25.0,
+    "pool_reuse_overhead": 1.0,
 }
 
 #: Hard floors independent of any baseline (mirror the bench asserts).
 ABSOLUTE_MIN = {
     "sparse_frontier_speedup": 5.0,
+    "graph_memo_hit_ratio": 0.85,
+    "graph_memo_warm_speedup": 5.0,
 }
+
+#: (metric, higher_is_better) pairs gated against the baseline median.
+GATED = (
+    ("churn_trial_speedup", True),
+    ("permuted_over_static", False),
+    ("empty_plan_overhead", False),
+    ("campaign_checkpoint_overhead", False),
+    ("trace_disabled_overhead", False),
+    ("sparse_frontier_speedup", True),
+    ("largen_ms_ratio_n1e6_over_n1e5", False),
+    ("pool_reuse_overhead", False),
+    ("graph_memo_hit_ratio", True),
+    ("graph_memo_warm_speedup", True),
+)
 
 #: Absolute (machine-dependent) context values that must exist in the
 #: current record — their producing benches must have run — but whose
 #: magnitudes are not compared against the baseline.
-REQUIRED_PRESENT = ("ms_per_round_n1e5", "ms_per_round_n1e6")
+REQUIRED_PRESENT = ("ms_per_round_n1e5", "ms_per_round_n1e6", "pool_cpu_count")
+
+#: The pooled-campaign floor only applies on runners with this many CPUs.
+PARALLEL_SPEEDUP_MIN = 2.0
+PARALLEL_MIN_CPUS = 4
+
+
+def _trend_table(rows: list[tuple[str, str, str, str, str]]) -> str:
+    """Render ``(metric, baseline, current, delta, status)`` rows aligned."""
+    header = ("metric", "baseline", "current", "delta", "status")
+    table = [header, *rows]
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[j]) if j == 0 else cell.rjust(widths[j])
+                for j, cell in enumerate(row)
+            ).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
 
 
 def check(path: Path) -> int:
@@ -97,52 +148,78 @@ def check(path: Path) -> int:
         values = [r[key] for r in prior if r.get(key) is not None]
         return statistics.median(values) if values else None
 
-    failures = []
+    failures: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
+
+    def row(key, base, cur, status):
+        delta = "-" if base is None or cur is None else f"{(cur - base) / base * 100:+.1f}%"
+        rows.append(
+            (
+                key,
+                "-" if base is None else f"{base:.3f}",
+                "-" if cur is None else f"{cur:.3f}",
+                delta,
+                status,
+            )
+        )
+
     for key in REQUIRED_PRESENT:
         if current.get(key) is None:
             failures.append(f"{key}: missing from current record")
+            row(key, None, None, "MISSING")
         else:
-            print(f"  {key}: {current[key]:.3f} (context; not gated) ok")
-    for key, higher_is_better in (
-        ("churn_trial_speedup", True),
-        ("permuted_over_static", False),
-        ("empty_plan_overhead", False),
-        ("campaign_checkpoint_overhead", False),
-        ("trace_disabled_overhead", False),
-        ("sparse_frontier_speedup", True),
-        ("largen_ms_ratio_n1e6_over_n1e5", False),
-    ):
+            row(key, baseline_for(key), current[key], "context")
+
+    for key, higher_is_better in GATED:
         base, cur = baseline_for(key), current.get(key)
         if cur is None:
             failures.append(f"{key}: missing from current record")
+            row(key, base, None, "MISSING")
             continue
         cap = ABSOLUTE_MAX.get(key)
         if cap is not None and cur > cap:
-            print(f"  {key}: {cur:.3f} exceeds absolute cap {cap:.3f} REGRESSION")
             failures.append(f"{key}: {cur:.3f} > absolute cap {cap:.3f}")
+            row(key, base, cur, f"REGRESSION (cap {cap:g})")
             continue
         floor = ABSOLUTE_MIN.get(key)
         if floor is not None and cur < floor:
-            print(f"  {key}: {cur:.3f} below absolute floor {floor:.3f} REGRESSION")
             failures.append(f"{key}: {cur:.3f} < absolute floor {floor:.3f}")
+            row(key, base, cur, f"REGRESSION (floor {floor:g})")
             continue
         if base is None:
             # Metric newer than the baseline record: nothing to compare
             # against yet; the next committed record becomes its baseline.
-            print(f"  {key}: {cur:.3f} (new metric; no baseline) ok")
+            row(key, None, cur, "ok (new metric)")
             continue
         if higher_is_better:
-            limit = base * (1 - TOLERANCE)
-            ok = cur >= limit
-            direction = ">="
+            ok = cur >= base * (1 - TOLERANCE)
         else:
-            limit = base * (1 + TOLERANCE)
-            ok = cur <= limit
-            direction = "<="
-        status = "ok" if ok else "REGRESSION"
-        print(f"  {key}: {cur:.3f} vs baseline {base:.3f} (need {direction} {limit:.3f}) {status}")
+            ok = cur <= base * (1 + TOLERANCE)
+        row(key, base, cur, "ok" if ok else "REGRESSION")
         if not ok:
             failures.append(f"{key}: {cur:.3f} vs baseline {base:.3f}")
+
+    # The parallel-plane speedup: absolute conditional floor, never
+    # baseline-relative (the baseline may mix runners with different core
+    # counts).
+    key = "campaign_parallel_speedup"
+    cur, cpus = current.get(key), current.get("pool_cpu_count")
+    if cur is None:
+        failures.append(f"{key}: missing from current record")
+        row(key, None, None, "MISSING")
+    elif cpus is not None and cpus >= PARALLEL_MIN_CPUS:
+        if cur >= PARALLEL_SPEEDUP_MIN:
+            row(key, None, cur, f"ok ({cpus:g} CPUs)")
+        else:
+            failures.append(
+                f"{key}: {cur:.3f} < floor {PARALLEL_SPEEDUP_MIN:.1f} "
+                f"on a {cpus:g}-CPU runner"
+            )
+            row(key, None, cur, f"REGRESSION (floor {PARALLEL_SPEEDUP_MIN:g})")
+    else:
+        row(key, None, cur, f"context (<{PARALLEL_MIN_CPUS} CPUs)")
+
+    print(_trend_table(rows))
     if failures:
         print("FAIL: " + "; ".join(failures))
         return 1

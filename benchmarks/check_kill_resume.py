@@ -10,9 +10,15 @@ cell is deterministically seeded, so cell-set identity implies table
 identity; per-cell wall times live in checkpoint ``extra`` metadata and
 are excluded from the diff).
 
+With ``--pool-workers K`` the killed and resumed campaigns run on the
+parallel execution plane (persistent worker pool + shared graphs); the
+uninterrupted reference stays serial, so the diff simultaneously proves
+kill-resume durability *and* pooled/serial table parity.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_kill_resume.py [--cells E1,A3,E13]
+        [--pool-workers K]
 
 Exit status 0 when every resumed table matches the clean run, 1 otherwise.
 """
@@ -32,12 +38,20 @@ REPO = Path(__file__).resolve().parent.parent
 DEFAULT_CELLS = "E1,A3,E19,E13"
 
 
-def spawn_campaign(checkpoint_dir: Path, cells: str, *, resume: bool) -> subprocess.Popen:
+def spawn_campaign(
+    checkpoint_dir: Path,
+    cells: str,
+    *,
+    resume: bool,
+    pool_workers: int | None = None,
+) -> subprocess.Popen:
     cmd = [
         sys.executable, "-m", "repro", "experiments", "run-all",
         "--only", cells, "--checkpoint-dir", str(checkpoint_dir),
         "--backoff-base", "0",
     ]
+    if pool_workers is not None:
+        cmd += ["--pool-workers", str(pool_workers)]
     if resume:
         cmd.append("--resume")
     env = dict(os.environ)
@@ -53,6 +67,11 @@ def main() -> int:
     parser.add_argument(
         "--kill-after", type=int, default=1, metavar="N",
         help="SIGKILL the campaign once N checkpoints exist",
+    )
+    parser.add_argument(
+        "--pool-workers", type=int, default=None, metavar="K",
+        help="run the killed/resumed campaigns on a K-worker pool "
+        "(the clean reference stays serial)",
     )
     args = parser.parse_args()
     sys.path.insert(0, str(REPO / "src"))
@@ -84,7 +103,9 @@ def main() -> int:
 
         # 2. Campaign killed partway through.
         killed_dir = tmp / "killed"
-        proc = spawn_campaign(killed_dir, args.cells, resume=False)
+        proc = spawn_campaign(
+            killed_dir, args.cells, resume=False, pool_workers=args.pool_workers
+        )
         deadline = time.monotonic() + 300
         try:
             while time.monotonic() < deadline and proc.poll() is None:
@@ -106,7 +127,9 @@ def main() -> int:
             return 1
 
         # 3. Resume and diff.
-        resume = spawn_campaign(killed_dir, args.cells, resume=True)
+        resume = spawn_campaign(
+            killed_dir, args.cells, resume=True, pool_workers=args.pool_workers
+        )
         out, _ = resume.communicate(timeout=600)
         print("\n".join(f"[resume] {line}" for line in out.strip().splitlines()), flush=True)
         if resume.returncode != 0:

@@ -130,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true",
         help="skip the per-experiment shape checks",
     )
+    p_all.add_argument(
+        "--pool-workers", type=int, default=None, metavar="K",
+        help="run cells on a persistent K-worker pool with work stealing "
+        "and shared-memory graphs (default: serial scheduler; tables are "
+        "bit-identical either way)",
+    )
+    p_all.add_argument(
+        "--no-shared-graphs", action="store_true",
+        help="disable the shared-memory graph plane (pool workers then "
+        "rebuild graphs per cell)",
+    )
 
     p_graph = sub.add_parser("graph", help="inspect a graph family instance")
     p_graph.add_argument("family", choices=sorted(_FAMILY_ARGS))
@@ -278,6 +289,8 @@ def _cmd_experiments_run_all(args) -> int:
         failure_budget=args.failure_budget,
         backoff_base=args.backoff_base,
         verify=not args.no_verify,
+        pool_workers=args.pool_workers,
+        shared_graphs=not args.no_shared_graphs,
     )
     report = run_campaign(config, progress=lambda line: print(line, flush=True))
     print(report.summary(), flush=True)

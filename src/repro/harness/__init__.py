@@ -41,6 +41,7 @@ from repro.harness.durable import (
     run_trials_durable,
     use_policy,
 )
+from repro.harness.pool import PoolUnit, WorkerPool, active_pool, use_pool
 from repro.harness.campaign import (
     CampaignConfig,
     CampaignReport,
@@ -77,6 +78,10 @@ __all__ = [
     "run_trials_durable",
     "run_trials_batched_durable",
     "use_policy",
+    "PoolUnit",
+    "WorkerPool",
+    "active_pool",
+    "use_pool",
     "CampaignConfig",
     "CampaignReport",
     "run_campaign",

@@ -21,7 +21,14 @@ durable unit of work:
   a cell whose profile requests ``engine="batched"`` falls back to
   ``engine="single"`` with ``processes=K`` and finally serial
   ``processes=1`` if the batched kernel keeps dying (same trial seeds;
-  see the equivalence contract in :mod:`repro.harness.durable`).
+  see the equivalence contract in :mod:`repro.harness.durable`);
+* with ``pool_workers=K`` the whole registry runs on the **parallel
+  execution plane**: one persistent :class:`~repro.harness.pool.WorkerPool`
+  executes all runnable cells with work stealing, graphs are shared
+  zero-copy through :mod:`repro.util.shm`, and every durable guarantee
+  above (timeouts, retries, budgets, ladders, atomic checkpoints,
+  bit-identical resume) is preserved — ``pool_workers=1`` degrades to
+  the serial schedule with identical tables.
 
 :func:`render_campaign_text` regenerates the ``standard_results.txt`` /
 ``quick_results.txt`` archive text purely from checkpoints, so a
@@ -89,6 +96,13 @@ class CampaignConfig:
     verify: bool = True
     overrides: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     isolate: bool | None = None
+    #: Run cells on a persistent worker pool of this size (the parallel
+    #: execution plane).  ``None`` keeps the serial scheduler; ``1`` still
+    #: exercises the pool (useful to prove it degrades to serial).
+    pool_workers: int | None = None
+    #: Publish built graphs to the shared-memory plane so pool workers map
+    #: them zero-copy and cells sharing a base CSR build it once.
+    shared_graphs: bool = True
 
     def policy(self) -> DurablePolicy:
         return DurablePolicy(
@@ -259,6 +273,8 @@ def run_campaign(
     exceeded, which aborts the remaining cells immediately.
     """
     progress = progress or (lambda line: None)
+    if config.pool_workers is not None:
+        return _run_campaign_pooled(config, progress)
     directory = Path(config.checkpoint_dir)
     directory.mkdir(parents=True, exist_ok=True)
     order = registry_order(config.exp_ids)
@@ -374,6 +390,260 @@ def _run_cell(
     result.error = last_error
     progress(f"{exp_id}: FAILED after {result.attempts} attempts: {last_error}")
     return result
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution plane: persistent pool + shared graphs + work stealing
+# ---------------------------------------------------------------------------
+
+
+def _cell_policy_kwargs(config: CampaignConfig, tier: str, budget_remaining: int) -> dict:
+    """Picklable :class:`DurablePolicy` kwargs mirroring :func:`_cell_call`'s
+    per-tier policy, so a pool worker reconstructs the exact policy the
+    serial scheduler would have used."""
+    kwargs = dict(
+        timeout_per_trial=config.timeout_per_trial,
+        max_retries=config.max_retries,
+        backoff_base=config.backoff_base,
+        failure_budget=budget_remaining,
+        processes=config.processes,
+    )
+    if tier == "single+serial":
+        kwargs["processes"] = 1
+    elif tier.startswith("single+processes"):
+        kwargs["processes"] = config.processes or 2
+    return kwargs
+
+
+def _cell_task(
+    exp_id: str,
+    profile: str,
+    overrides: dict,
+    policy_kwargs: dict,
+    store_prefix: str | None,
+) -> tuple[object, float, list[FailureEvent]]:
+    """Run one experiment cell inside a pool worker.
+
+    Module-level and argument-picklable by construction (the pool forked
+    before any cell existed).  Mirrors :func:`_cell_call`: the cell runs
+    under its own durable policy and reports ``(table, elapsed_s,
+    failure_events)`` so the parent charges trial-level failures to the
+    campaign budget.  With a store prefix, the shared-memory graph plane
+    is active for the whole cell, so graph builds route through the
+    campaign-wide memo.
+    """
+    import contextlib
+
+    ctx = contextlib.nullcontext()
+    if store_prefix is not None:
+        from repro.util import shm
+
+        ctx = shm.use_graph_store(shm.store_for(store_prefix))
+    policy = DurablePolicy(**policy_kwargs)
+    cell_budget = policy.new_budget()
+    start = time.perf_counter()
+    with ctx, use_policy(policy, cell_budget):
+        table = run_experiment(exp_id, profile, **overrides)
+    return table, time.perf_counter() - start, cell_budget.events
+
+
+@dataclass
+class _PendingCell:
+    """Scheduler state for one not-yet-finished cell."""
+
+    exp_id: str
+    path: Path
+    tiers: list[tuple[str, dict]]
+    tier_idx: int = 0
+    attempt: int = 0  # retries used at the current tier
+    attempts_total: int = 0
+    last_error: str | None = None
+
+    @property
+    def current_tier(self) -> tuple[str, dict]:
+        return self.tiers[self.tier_idx]
+
+
+def _complete_cell(
+    config: CampaignConfig,
+    cell: _PendingCell,
+    tier: str,
+    table: object,
+    elapsed: float,
+    progress: Callable[[str], None],
+) -> CellResult:
+    """Verify + checkpoint one finished cell (identical artifact to the
+    serial scheduler's, so resume and rendering stay bit-compatible)."""
+    result = CellResult(
+        exp_id=cell.exp_id,
+        status="completed",
+        elapsed_s=elapsed,
+        attempts=cell.attempts_total,
+        tier=tier,
+        path=cell.path,
+    )
+    if config.verify and cell.exp_id in VERIFIERS:
+        checks = verify_experiment(cell.exp_id, table)
+        result.checks_passed = sum(1 for c in checks if c.passed)
+        result.checks_total = len(checks)
+    save_table(
+        table,
+        cell.path,
+        exp_id=cell.exp_id,
+        profile=config.profile,
+        extra={
+            "campaign": {
+                "elapsed_s": elapsed,
+                "tier": tier,
+                "attempts": result.attempts,
+                "checks_passed": result.checks_passed,
+                "checks_total": result.checks_total,
+            }
+        },
+    )
+    verdict = (
+        ""
+        if result.checks_total is None
+        else f", checks {result.checks_passed}/{result.checks_total}"
+    )
+    progress(f"{cell.exp_id}: completed in {elapsed:.1f}s [{tier}]{verdict}")
+    return result
+
+
+def _run_campaign_pooled(
+    config: CampaignConfig,
+    progress: Callable[[str], None],
+) -> CampaignReport:
+    """The parallel execution plane: all runnable cells flattened onto one
+    persistent worker pool.
+
+    Scheduling is wave-based work stealing: every still-pending cell
+    contributes one unit (its current ladder tier) to the wave, the pool
+    hands units to whichever worker frees up first, and failed cells
+    advance their retry/tier state for the next wave — so a slow cell
+    never blocks the rest of the registry, and uneven cells no longer
+    serialize the tail.  Checkpoints are written only by this parent
+    process, one atomic file per finished cell, exactly as in the serial
+    scheduler; trial seeds are derived inside each cell from its
+    experiment id and profile, so tables are bit-identical to a serial
+    run.
+    """
+    from repro.harness.pool import PoolUnit, WorkerPool
+
+    directory = Path(config.checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    order = registry_order(config.exp_ids)
+    policy = config.policy()
+    budget = policy.new_budget()
+    report = CampaignReport(profile=config.profile, checkpoint_dir=directory)
+    results_by_id: dict[str, CellResult] = {}
+
+    pending: list[_PendingCell] = []
+    for exp_id in order:
+        path = checkpoint_path(directory, exp_id, config.profile)
+        resumed = _try_resume(config, exp_id, path, progress)
+        if resumed is not None:
+            results_by_id[exp_id] = resumed
+            continue
+        pending.append(
+            _PendingCell(exp_id=exp_id, path=path, tiers=_cell_tiers(config, exp_id))
+        )
+
+    store = None
+    if config.shared_graphs:
+        from repro.util import shm
+
+        if shm.shared_memory_supported():
+            store = shm.SharedGraphStore.create()
+    pool = WorkerPool(config.pool_workers)
+    progress(
+        f"parallel plane: {pool.size} worker(s)"
+        + (", shared graphs" if store is not None else "")
+    )
+    try:
+        while pending:
+            units: list[PoolUnit] = []
+            wave: list[tuple[_PendingCell, str]] = []
+            for cell in pending:
+                tier, tier_overrides = cell.current_tier
+                overrides = dict(config.overrides.get(cell.exp_id, {}))
+                overrides.update(tier_overrides)
+                units.append(
+                    PoolUnit(
+                        name=f"cell {cell.exp_id} [{tier}]",
+                        fn=_cell_task,
+                        args=(
+                            cell.exp_id,
+                            config.profile,
+                            overrides,
+                            _cell_policy_kwargs(config, tier, budget.remaining),
+                            None if store is None else store.prefix,
+                        ),
+                        timeout=config.timeout_per_experiment,
+                    )
+                )
+                wave.append((cell, tier))
+            results, failures = pool.run_units(units)
+            next_pending: list[_PendingCell] = []
+            retry_delay = 0.0
+            for idx, (cell, tier) in enumerate(wave):
+                cell.attempts_total += 1
+                if idx in results:
+                    table, elapsed, events = results[idx]
+                    budget.absorb(events)
+                    results_by_id[cell.exp_id] = _complete_cell(
+                        config, cell, tier, table, elapsed, progress
+                    )
+                    continue
+                exc = failures[idx]
+                budget.spend(
+                    FailureEvent(
+                        kind=exc.kind, detail=exc.detail, tier=tier, unit=exc.unit
+                    )
+                )
+                cell.last_error = str(exc)
+                progress(
+                    f"{cell.exp_id}: {tier} attempt {cell.attempt + 1} failed: {exc}"
+                )
+                if "FailureBudgetExceeded" in exc.detail:
+                    raise FailureBudgetExceeded(exc.detail)
+                if exc.degrade_now or cell.attempt >= config.max_retries:
+                    cell.tier_idx += 1
+                    cell.attempt = 0
+                    if cell.tier_idx >= len(cell.tiers):
+                        results_by_id[cell.exp_id] = CellResult(
+                            exp_id=cell.exp_id,
+                            status="failed",
+                            attempts=cell.attempts_total,
+                            error=cell.last_error,
+                            path=cell.path,
+                        )
+                        progress(
+                            f"{cell.exp_id}: FAILED after {cell.attempts_total} "
+                            f"attempts: {cell.last_error}"
+                        )
+                        continue
+                else:
+                    cell.attempt += 1
+                    retry_delay = max(
+                        retry_delay, policy.backoff_delay(cell.attempt - 1)
+                    )
+                next_pending.append(cell)
+            if next_pending and retry_delay > 0:
+                policy.sleep(retry_delay)
+            pending = next_pending
+    except FailureBudgetExceeded as exc:
+        report.aborted = str(exc)
+        progress(f"campaign aborted: {exc}")
+    finally:
+        pool.shutdown()
+        if store is not None:
+            store.cleanup()
+    for exp_id in order:
+        if exp_id in results_by_id:
+            report.cells.append(results_by_id[exp_id])
+    report.failures = list(budget.events)
+    return report
 
 
 def _campaign_documents(

@@ -397,32 +397,79 @@ def _run_wave(
     return results, failures
 
 
+def _active_worker_pool():
+    """The campaign's persistent :class:`~repro.harness.pool.WorkerPool`,
+    if one is active (lazy import: ``pool`` imports this module)."""
+    from repro.harness.pool import active_pool
+
+    return active_pool()
+
+
+def _run_wave_pool(
+    pool,
+    units: dict[int, tuple[str, tuple, float | None]],
+) -> tuple[dict[int, object], dict[int, UnitFailure]]:
+    """Run a wave on the persistent pool instead of forking per unit.
+
+    ``units`` maps index -> (unit name, picklable ``(fn, args)`` spec,
+    timeout).  Same contract as :func:`_run_wave`: per-index results and
+    failures, one failure never cancels siblings.  A timed-out or dead
+    worker is SIGKILLed and replaced inside the pool; the retry wave
+    re-dispatches the same spec — i.e. the original trial seeds.
+    """
+    from repro.harness.pool import PoolUnit
+
+    order = list(units)
+    pool_units = [
+        PoolUnit(name=name, fn=spec[0], args=spec[1], timeout=timeout)
+        for name, spec, timeout in (units[idx] for idx in order)
+    ]
+    raw_results, raw_failures = pool.run_units(pool_units)
+    results = {order[i]: value for i, value in raw_results.items()}
+    failures = {order[i]: exc for i, exc in raw_failures.items()}
+    return results, failures
+
+
 def _run_units_with_retry(
-    units: list[tuple[str, Callable[[], object], int]],
+    units: list[tuple[str, Callable[[], object], int, tuple | None]],
     *,
     policy: DurablePolicy,
     budget: FailureBudget,
     tier: str,
 ) -> list[object]:
-    """Run every unit (name, thunk, trial count), retrying failed ones in
-    backoff-separated waves.  Returns results in unit order; raises the
+    """Run every unit (name, thunk, trial count, optional picklable
+    ``(fn, args)`` spec), retrying failed ones in backoff-separated
+    waves.  Waves run on the campaign's persistent worker pool when one
+    is active and every unit carries a spec (closure-only units keep the
+    fork-per-unit path).  Returns results in unit order; raises the
     last :class:`UnitFailure` if any unit is still failing after
     ``max_retries`` extra waves (deterministic ``MemoryError`` failures
     raise immediately so the ladder can degrade without useless
     retries)."""
+    pool = _active_worker_pool()
+    use_pool_waves = pool is not None and all(spec is not None for *_rest, spec in units)
     results: dict[int, object] = {}
     failures: dict[int, UnitFailure] = {}
     for attempt in range(policy.max_retries + 1):
-        todo = {
-            idx: (unit, fn, policy.unit_timeout(trials))
-            for idx, (unit, fn, trials) in enumerate(units)
-            if idx not in results
-        }
+        if use_pool_waves:
+            todo = {
+                idx: (unit, spec, policy.unit_timeout(trials))
+                for idx, (unit, _fn, trials, spec) in enumerate(units)
+                if idx not in results
+            }
+        else:
+            todo = {
+                idx: (unit, fn, policy.unit_timeout(trials))
+                for idx, (unit, fn, trials, _spec) in enumerate(units)
+                if idx not in results
+            }
         if not todo:
             break
         if attempt:
             policy.sleep(policy.backoff_delay(attempt - 1))
-        wave_results, failures = _run_wave(todo)
+        wave_results, failures = (
+            _run_wave_pool(pool, todo) if use_pool_waves else _run_wave(todo)
+        )
         results.update(wave_results)
         for failure in failures.values():
             budget.spend(
@@ -494,11 +541,24 @@ def run_trials_durable(
             outcomes = _trial_chunk(build, seeds, max_rounds, check_every)
         else:
             chunks = [list(c) for c in np.array_split(seeds, k)]
+            # With a persistent pool active and a picklable builder, units
+            # also carry a spec so waves dispatch to the pool instead of
+            # forking; same chunking, same seeds, same outcomes.
+            specs: list[tuple | None] = [None] * len(chunks)
+            if _active_worker_pool() is not None:
+                from repro.harness.runner import _probe_builder_picklable
+
+                if _probe_builder_picklable(build)[0]:
+                    specs = [
+                        (_trial_chunk, (build, c, max_rounds, check_every))
+                        for c in chunks
+                    ]
             units = [
                 (
                     f"trial chunk {i + 1}/{len(chunks)} ({len(c)} trials)",
                     (lambda cs: lambda: _trial_chunk(build, cs, max_rounds, check_every))(c),
                     len(c),
+                    specs[i],
                 )
                 for i, c in enumerate(chunks)
             ]
@@ -604,6 +664,7 @@ def run_trials_batched_durable(
                     f"replica batch {i + 1}/{len(groups)} ({len(g)} trials)",
                     batch_thunk(g),
                     len(g),
+                    None,  # closures over build_batched: fork path only
                 )
                 for i, g in enumerate(groups)
             ]

@@ -1,0 +1,333 @@
+"""Persistent fork-based worker pool: one fleet per campaign, reused
+across every wave and cell.
+
+The durable layer's :func:`~repro.harness.durable._run_wave` forks a
+fresh child per work unit per wave — correct, but a full campaign pays
+the fork+import tax thousands of times and can never overlap work from
+*different* cells.  This pool keeps ``K`` forked workers alive for the
+whole campaign and drives them with a parent-side ready queue:
+
+* **Work stealing by construction** — the parent holds one flat queue of
+  runnable units; whichever worker finishes first is handed the next
+  unit, regardless of which cell it came from.  Uneven cells therefore
+  never serialize the tail.
+* **Transparent replacement** — a worker that exceeds its unit's
+  wall-clock budget is SIGKILLed and a fresh worker is forked in its
+  place; a worker that dies mid-unit (OOM-killer, segfault) is detected
+  and replaced the same way.  Either way the caller gets a standard
+  :class:`~repro.harness.durable.UnitFailure` (kind ``timeout`` /
+  ``crash``) and the durable retry ladder re-dispatches the unit with
+  its *original* arguments — i.e. the same trial seeds.
+* **Per-worker pipes, no shared locks** — each worker owns a dedicated
+  duplex pipe and the parent multiplexes with
+  :func:`multiprocessing.connection.wait`.  SIGKILLing a worker can
+  therefore never wedge a queue lock another worker needs (the failure
+  mode that permanently "breaks" :class:`concurrent.futures.ProcessPoolExecutor`).
+
+Tasks must be *picklable* ``(fn, args, kwargs)`` triples (the fork
+happened at pool creation, so closures cannot ride along).  Callers that
+need closure-carrying units keep using the fork-per-unit wave — the
+durable layer picks per unit.  Activate a pool for a call tree with
+:func:`use_pool`; :func:`~repro.harness.runner.run_trials` and the
+durable executors detect it via :func:`active_pool`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Sequence
+
+from repro.harness.durable import UnitFailure
+
+__all__ = ["PoolUnit", "WorkerPool", "active_pool", "use_pool"]
+
+
+_ACTIVE_POOL: contextvars.ContextVar["WorkerPool | None"] = contextvars.ContextVar(
+    "repro_worker_pool", default=None
+)
+
+
+@contextlib.contextmanager
+def use_pool(pool: "WorkerPool | None"):
+    """Make ``pool`` the campaign's execution substrate for the block:
+    parallel ``run_trials`` chunks and durable waves with picklable specs
+    route through it instead of forking fresh workers."""
+    token = _ACTIVE_POOL.set(pool)
+    try:
+        yield pool
+    finally:
+        _ACTIVE_POOL.reset(token)
+
+
+def active_pool() -> "WorkerPool | None":
+    """The pool installed by :func:`use_pool`, if any."""
+    return _ACTIVE_POOL.get()
+
+
+@dataclass
+class PoolUnit:
+    """One schedulable work unit: a picklable call with an optional
+    wall-clock budget."""
+
+    name: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    timeout: float | None = None
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``("task", id, fn, args, kwargs)``, answer
+    ``(id, "ok"|"err", payload)``; exit on ``("stop",)`` or parent death
+    (EOF).  ``os._exit`` everywhere — a pool worker must never run the
+    parent's atexit/teardown machinery."""
+    # The fork snapshots the parent mid-campaign: drop any inherited
+    # execution context so a worker never routes work back into itself.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns our lifecycle
+    _ACTIVE_POOL.set(None)
+    from repro.harness import durable
+
+    durable._ACTIVE.set(None)
+    code = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        except KeyboardInterrupt:  # pragma: no cover - SIGINT race pre-ignore
+            continue
+        if message[0] == "stop":
+            break
+        _, task_id, fn, args, kwargs = message
+        try:
+            payload = (task_id, "ok", fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - report, keep serving
+            payload = (task_id, "err", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(payload)
+        except BaseException:  # parent went away mid-send
+            code = 1
+            break
+    with contextlib.suppress(Exception):
+        conn.close()
+    os._exit(code)
+
+
+class _Worker:
+    """One persistent forked worker and its dedicated pipe."""
+
+    def __init__(self, ctx):
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.task_id: int | None = None
+        self.deadline: float | None = None
+        self.timeout: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task_id is not None
+
+    def dispatch(self, task_id: int, unit: PoolUnit) -> None:
+        self.conn.send(("task", task_id, unit.fn, unit.args, unit.kwargs))
+        self.task_id = task_id
+        self.timeout = unit.timeout
+        self.deadline = None if unit.timeout is None else time.monotonic() + unit.timeout
+
+    def clear(self) -> None:
+        self.task_id = None
+        self.deadline = None
+        self.timeout = None
+
+    def kill(self) -> None:
+        with contextlib.suppress(Exception):
+            if self.process.is_alive():
+                self.process.kill()  # SIGKILL: hung workers ignore less
+        self.process.join(timeout=5.0)
+        with contextlib.suppress(Exception):
+            self.conn.close()
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except Exception:
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn worker
+            self.kill()
+        else:
+            with contextlib.suppress(Exception):
+                self.conn.close()
+
+
+class WorkerPool:
+    """``workers`` persistent forked processes fed from a parent-side
+    ready queue (see module docstring).  Create once per campaign, reuse
+    for every wave, ``shutdown()`` in a ``finally``."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise OSError("WorkerPool requires the fork start method (POSIX)")
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers = [_Worker(self._ctx) for _ in range(workers)]
+        self._closed = False
+        #: Workers forked to replace killed/dead ones (observability).
+        self.replacements = 0
+        #: Units completed (ok or err) over the pool's lifetime.
+        self.tasks_done = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    def worker_pids(self) -> list[int]:
+        return [w.process.pid for w in self._workers]
+
+    def _replace(self, worker: _Worker) -> None:
+        worker.kill()
+        self._workers[self._workers.index(worker)] = _Worker(self._ctx)
+        self.replacements += 1
+
+    # -- scheduling ---------------------------------------------------------
+
+    def run_units(
+        self, units: Sequence[PoolUnit]
+    ) -> tuple[dict[int, Any], dict[int, UnitFailure]]:
+        """Run ``units`` to completion on the pool; returns per-index
+        results and failures (mirror of
+        :func:`~repro.harness.durable._run_wave`).
+
+        Dispatch is pull-based: every idle worker immediately receives
+        the next queued unit, so a wave mixing cheap and expensive units
+        (or units from different cells) keeps all workers busy until the
+        queue drains.  Timeouts SIGKILL-and-replace; worker death is a
+        ``crash`` failure; neither cancels sibling units.
+        """
+        if self._closed:
+            raise RuntimeError("pool is shut down")
+        results: dict[int, Any] = {}
+        failures: dict[int, UnitFailure] = {}
+        queue: list[int] = list(range(len(units)))
+        try:
+            while queue or any(w.busy for w in self._workers):
+                now = time.monotonic()
+                # Feed every idle worker from the shared queue.
+                for worker in self._workers:
+                    if not queue:
+                        break
+                    if worker.busy:
+                        continue
+                    task_id = queue.pop(0)
+                    try:
+                        worker.dispatch(task_id, units[task_id])
+                    except Exception:
+                        # Worker died while idle: replace and retry the
+                        # unit (it never started, so this is not a failure).
+                        self._replace(worker)
+                        queue.insert(0, task_id)
+                        break
+                busy = {w.conn: w for w in self._workers if w.busy}
+                if not busy:
+                    continue
+                for conn in mp_connection.wait(list(busy), timeout=0.05):
+                    worker = busy[conn]
+                    task_id = worker.task_id
+                    try:
+                        reply_id, status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        continue  # dead-worker sweep below handles it
+                    if reply_id != task_id:  # pragma: no cover - stale reply
+                        continue  # from a unit whose timeout already fired
+                    self.tasks_done += 1
+                    if status == "ok":
+                        results[task_id] = payload
+                    else:
+                        failures[task_id] = UnitFailure(
+                            "error", payload, units[task_id].name
+                        )
+                    worker.clear()
+                now = time.monotonic()
+                for worker in self._workers:
+                    if not worker.busy:
+                        continue
+                    task_id = worker.task_id
+                    unit = units[task_id]
+                    if worker.deadline is not None and now >= worker.deadline:
+                        failures[task_id] = UnitFailure(
+                            "timeout",
+                            f"exceeded {worker.timeout:.1f}s wall clock; "
+                            "worker killed and replaced",
+                            unit.name,
+                        )
+                        self.tasks_done += 1
+                        self._replace(worker)
+                    elif not worker.process.is_alive():
+                        # Drain a result sent just before death.
+                        payload = None
+                        with contextlib.suppress(EOFError, OSError):
+                            if worker.conn.poll(0):
+                                payload = worker.conn.recv()
+                        if payload is not None and payload[0] == task_id:
+                            status, value = payload[1], payload[2]
+                            if status == "ok":
+                                results[task_id] = value
+                            else:
+                                failures[task_id] = UnitFailure(
+                                    "error", value, unit.name
+                                )
+                        else:
+                            failures[task_id] = UnitFailure(
+                                "crash",
+                                "worker died without reporting (exit code "
+                                f"{worker.process.exitcode}); replaced",
+                                unit.name,
+                            )
+                        self.tasks_done += 1
+                        self._replace(worker)
+        except BaseException:
+            # Interrupted mid-wave (e.g. KeyboardInterrupt): the busy
+            # workers hold stale tasks — replace them so the pool comes
+            # back idle and reusable, then let the caller unwind.
+            for worker in self._workers:
+                if worker.busy:
+                    self._replace(worker)
+            raise
+        return results, failures
+
+    def submit(self, unit: PoolUnit) -> Any:
+        """Run one unit; return its result or raise its
+        :class:`UnitFailure`."""
+        results, failures = self.run_units([unit])
+        if failures:
+            raise failures[0]
+        return results[0]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful for idle, SIGKILL for stuck);
+        idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.busy:
+                worker.kill()
+            else:
+                worker.stop()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

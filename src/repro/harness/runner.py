@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence
@@ -108,6 +109,51 @@ def default_processes() -> int | None:
     return value if value > 1 else None
 
 
+# Per-builder-object memo of the picklability probe (a sweep calls
+# ``run_trials`` once per grid cell with the *same* builder object;
+# re-serializing a megabyte closure every call was pure waste).  Weak
+# keys keep dead builders from pinning memory; builders that cannot be
+# weak-referenced simply re-probe.
+_PICKLE_PROBE: "weakref.WeakKeyDictionary[Callable, tuple[bool, str]]" = (
+    weakref.WeakKeyDictionary()
+)
+_WARNED_BUILDERS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _probe_builder_picklable(build: Callable) -> tuple[bool, str]:
+    """``(picklable, reason)`` for a trial builder, memoized per object."""
+    try:
+        cached = _PICKLE_PROBE.get(build)
+    except TypeError:
+        cached = None
+    if cached is not None:
+        return cached
+    try:
+        pickle.dumps(build)
+        result = (True, "")
+    except Exception as exc:  # noqa: BLE001 - any pickling error disables fan-out
+        result = (False, repr(exc))
+    try:
+        _PICKLE_PROBE[build] = result
+    except TypeError:
+        pass
+    return result
+
+
+def _warn_unpicklable(build: Callable, requested: int, reason: str, source: str) -> None:
+    """Emit :class:`UnpicklableBuilderWarning` at most once per builder
+    object (i.e. once per sweep, not once per ``run_trials`` call)."""
+    try:
+        if build in _WARNED_BUILDERS:
+            return
+        _WARNED_BUILDERS.add(build)
+    except TypeError:
+        pass
+    warnings.warn(
+        UnpicklableBuilderWarning(requested, reason, source), stacklevel=3
+    )
+
+
 def _one_trial(
     build: Callable[[int], EngineLike],
     seed: int,
@@ -185,21 +231,36 @@ def run_trials(
         processes = default_processes()
     if processes is None or processes <= 1 or trials == 1:
         return _trial_chunk(build, trial_seeds, max_rounds, check_every)
-    try:
-        pickle.dumps(build)
-    except Exception as exc:
+    picklable, reason = _probe_builder_picklable(build)
+    if not picklable:
         # Outcomes are identical either way (each trial is independently
         # seeded), so both the env-var default and an explicit request
         # degrade to the serial path deterministically, with one
         # structured warning instead of a hard error.
         source = f"{PROCESSES_ENV}={processes}" if from_env else f"processes={processes}"
-        warnings.warn(
-            UnpicklableBuilderWarning(processes, repr(exc), source),
-            stacklevel=2,
-        )
+        _warn_unpicklable(build, processes, reason, source)
         return _trial_chunk(build, trial_seeds, max_rounds, check_every)
     workers = min(processes, trials)
     chunks = [list(c) for c in np.array_split(trial_seeds, workers)]
+    from repro.harness.pool import PoolUnit, active_pool
+
+    persistent = active_pool()
+    if persistent is not None:
+        # Inside a campaign: reuse the persistent fleet instead of paying
+        # a fresh executor's fork+teardown for this one call.  Chunking
+        # and seed order are identical to the executor path.
+        units = [
+            PoolUnit(
+                name=f"trial chunk {i + 1}/{len(chunks)} ({len(chunk)} trials)",
+                fn=_trial_chunk,
+                args=(build, chunk, max_rounds, check_every),
+            )
+            for i, chunk in enumerate(chunks)
+        ]
+        results, failures = persistent.run_units(units)
+        if failures:
+            raise next(iter(failures.values()))
+        return [o for i in range(len(chunks)) for o in results[i]]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
             pool.submit(_trial_chunk, build, chunk, max_rounds, check_every)

@@ -1,0 +1,182 @@
+"""Tests for the shared-memory graph plane (repro.util.shm).
+
+Lifecycle discipline is the core contract: every segment a campaign
+publishes is unlinked when the owning store cleans up — on normal exit,
+after worker SIGKILL (workers never own segments), and on
+KeyboardInterrupt (covered with the pooled campaign in
+``test_campaign_parallel.py``).  The memo contract: identical
+``(family, args, seed)`` calls build once and share; unseeded calls
+never memoize.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graphs import families
+from repro.graphs.dynamic import PeriodicRelabelDynamicGraph
+from repro.graphs.static import Graph
+from repro.util import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.shared_memory_supported(), reason="no /dev/shm on this platform"
+)
+
+
+@pytest.fixture
+def store():
+    store = shm.SharedGraphStore.create()
+    try:
+        yield store
+    finally:
+        store.cleanup()
+
+
+def leaked(prefix: str) -> list[str]:
+    return sorted(p.name for p in shm.SHM_DIR.glob(prefix + "-*"))
+
+
+class TestSegments:
+    def test_graph_roundtrip_zero_copy(self, store):
+        g = families.random_regular(256, 4, seed=7)
+        name = store.publish_graph(g)
+        assert name is not None and name.startswith(store.prefix)
+        attach = shm.SharedGraphStore(store.prefix, owner=False)
+        loaded = attach.load_graph(name)
+        assert loaded == g
+        assert np.array_equal(loaded.indptr, g.indptr)
+        assert np.array_equal(loaded.indices, g.indices)
+        assert not loaded.indptr.flags.writeable  # mmap'd read-only view
+        assert not loaded.indices.flags.writeable
+        # Same process, same name -> same cached object.
+        assert attach.load_graph(name) is loaded
+
+    def test_publish_is_content_addressed(self, store):
+        g1 = families.random_regular(128, 4, seed=3)
+        g2 = families.random_regular(128, 4, seed=3)
+        assert g1 is not g2  # no active store: built independently
+        assert store.publish_graph(g1) == store.publish_graph(g2)
+        assert len(store.segment_names()) == 1
+
+    def test_array_roundtrip(self, store):
+        arr = np.arange(24, dtype=np.int64).reshape(4, 6)
+        name = store.publish_array(("blocks", 1), arr)
+        attach = shm.SharedGraphStore(store.prefix, owner=False)
+        out = attach.load_array(name)
+        assert np.array_equal(out, arr)
+        assert out.shape == (4, 6)
+
+    def test_cleanup_unlinks_everything(self):
+        store = shm.SharedGraphStore.create()
+        store.publish_graph(families.ring(32))
+        store.publish_array(("a",), np.arange(5, dtype=np.int64))
+        assert len(leaked(store.prefix)) == 2
+        removed = store.cleanup()
+        assert removed == 2
+        assert leaked(store.prefix) == []
+
+    def test_attach_mode_cleanup_never_deletes(self, store):
+        store.publish_graph(families.ring(32))
+        attach = shm.SharedGraphStore(store.prefix, owner=False)
+        assert attach.cleanup() == 0
+        assert len(leaked(store.prefix)) == 1
+
+    def test_segment_cap_stops_publishing_not_building(self):
+        store = shm.SharedGraphStore.create(max_segments=2)
+        try:
+            graphs = [
+                families.random_regular(64, 4, seed=s) for s in range(4)
+            ]
+            names = [store.publish_graph(g) for g in graphs]
+            assert names[0] is not None and names[1] is not None
+            assert names[2] is None and names[3] is None  # over cap: fall back
+            assert len(store.segment_names()) == 2
+        finally:
+            store.cleanup()
+
+
+class TestFamilyMemo:
+    def test_seeded_build_shared_across_stores(self, store):
+        with shm.use_graph_store(store):
+            g1 = families.random_regular(256, 4, seed=11)
+            g2 = families.random_regular(256, 4, seed=11)
+        assert g1 is g2
+        assert (store.hits, store.misses) == (1, 1)
+        # A different process attaching by prefix maps the same build.
+        attach = shm.SharedGraphStore(store.prefix, owner=False)
+        with shm.use_graph_store(attach):
+            g3 = families.random_regular(256, 4, seed=11)
+        assert (attach.hits, attach.misses) == (1, 0)
+        assert g3 == g1
+
+    def test_different_args_different_graphs(self, store):
+        with shm.use_graph_store(store):
+            a = families.random_regular(128, 4, seed=1)
+            b = families.random_regular(128, 4, seed=2)
+            c = families.random_regular(128, 6, seed=1)
+        assert a != b and a != c
+        assert store.misses == 3
+
+    def test_unseeded_calls_stay_random(self, store):
+        with shm.use_graph_store(store):
+            a = families.erdos_renyi(40, 0.3)
+            b = families.erdos_renyi(40, 0.3)
+        assert a is not b  # memoizing would freeze the sampler
+        assert store.hits == 0
+
+    def test_deterministic_families_memoize(self, store):
+        with shm.use_graph_store(store):
+            a = families.hypercube(5)
+            b = families.hypercube(5)
+        assert a is b
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_no_store_no_memo(self):
+        a = families.hypercube(4)
+        b = families.hypercube(4)
+        assert a is not b and a == b
+
+
+class TestPickling:
+    def test_graph_pickles_as_segment_reference(self, store):
+        g = families.random_regular(512, 8, seed=5)
+        with shm.use_graph_store(store):
+            blob = pickle.dumps(g)
+        assert len(blob) < 1024  # a reference, not the CSR payload
+        out = pickle.loads(blob)  # in-process: resolves through the cache
+        assert out == g
+
+    def test_graph_pickles_plainly_without_store(self):
+        g = families.random_regular(128, 4, seed=9)
+        out = pickle.loads(pickle.dumps(g))
+        assert out == g
+        assert np.array_equal(out.indptr, g.indptr)
+        assert not out.indptr.flags.writeable
+        assert not out.edges.flags.writeable
+
+    def test_from_csr_trusts_arrays(self):
+        g = families.ring(16)
+        h = Graph._from_csr(g.n, g.indptr, g.indices, g.edges)
+        assert h == g and h.neighbors(0).tolist() == g.neighbors(0).tolist()
+
+    def test_relabel_dynamic_graph_blocks_travel_by_reference(self, store):
+        base = families.random_regular(128, 4, seed=2)
+        dyn = PeriodicRelabelDynamicGraph(base, tau=1, seed=3)
+        p5 = dyn.permutation_at(5).copy()  # forces block generation
+        with shm.use_graph_store(store):
+            blob = pickle.dumps(dyn)
+        out = pickle.loads(blob)
+        assert out._perm_blocks  # shipped via segments, not regenerated
+        assert np.array_equal(out.permutation_at(5), p5)
+        assert out.graph_at(5) == dyn.graph_at(5)
+
+    def test_relabel_dynamic_graph_plain_pickle_regenerates(self):
+        base = families.random_regular(64, 4, seed=2)
+        dyn = PeriodicRelabelDynamicGraph(base, tau=2, seed=7)
+        p9 = dyn.permutation_at(9).copy()
+        out = pickle.loads(pickle.dumps(dyn))
+        assert out._perm_blocks == {}  # dropped; deterministic regeneration
+        assert np.array_equal(out.permutation_at(9), p9)
