@@ -1,7 +1,7 @@
 """CI gate: fail on >30% engine-throughput regression vs the committed baseline.
 
 ``benchmarks/bench_engine.py -k "churn or fault or campaign or trace or
-sparse or large or pool or memo"`` appends one record per run to
+sparse or large or pool or memo or async"`` appends one record per run to
 ``BENCH_engine.json`` at the repo root.  This script compares the newest
 record (the current run) against the *per-metric median of all committed
 prior records* on dimensionless ratios — machine speed cancels out of
@@ -34,6 +34,11 @@ asserts):
   the bench sweep; higher is better) — absolute 0.85 floor;
 - ``graph_memo_warm_speedup`` (cold graph build over warm mmap attach;
   higher is better) — 70%-of-baseline rule plus an absolute 5.0 floor;
+- ``async_vs_sync_round_ratio`` (event-tier stabilization ticks at Δ=1
+  over sync vectorized rounds on the same workload; lower is better) —
+  130%-of-baseline rule plus an absolute 6.0 cap: the Δ=1 cadence is a
+  structural constant of the event tier, so a jump means the timer→
+  connect→deliver unrolling changed, not the machine;
 - ``campaign_parallel_speedup`` (serial campaign wall time over the
   pooled campaign) is gated **conditionally**: the absolute 2.0 floor
   applies only when the record's ``pool_cpu_count`` is ≥4 — a
@@ -43,8 +48,9 @@ asserts):
   runners with different core counts.
 
 Absolute context values (``ms_per_round_n1e5``, ``ms_per_round_n1e6``,
-``pool_cpu_count``) must be present — their producing benches must have
-run — but their magnitudes are machine-dependent and not gated.
+``pool_cpu_count``, ``async_events_per_sec``) must be present — their
+producing benches must have run — but their magnitudes are
+machine-dependent and not gated.
 
 A ratio present in the current record but absent from every prior record
 is a *new metric* (added after the baselines were committed): it is
@@ -76,6 +82,7 @@ ABSOLUTE_MAX = {
     "trace_disabled_overhead": 1.05,
     "largen_ms_ratio_n1e6_over_n1e5": 25.0,
     "pool_reuse_overhead": 1.0,
+    "async_vs_sync_round_ratio": 6.0,
 }
 
 #: Hard floors independent of any baseline (mirror the bench asserts).
@@ -97,12 +104,18 @@ GATED = (
     ("pool_reuse_overhead", False),
     ("graph_memo_hit_ratio", True),
     ("graph_memo_warm_speedup", True),
+    ("async_vs_sync_round_ratio", False),
 )
 
 #: Absolute (machine-dependent) context values that must exist in the
 #: current record — their producing benches must have run — but whose
 #: magnitudes are not compared against the baseline.
-REQUIRED_PRESENT = ("ms_per_round_n1e5", "ms_per_round_n1e6", "pool_cpu_count")
+REQUIRED_PRESENT = (
+    "ms_per_round_n1e5",
+    "ms_per_round_n1e6",
+    "pool_cpu_count",
+    "async_events_per_sec",
+)
 
 #: The pooled-campaign floor only applies on runners with this many CPUs.
 PARALLEL_SPEEDUP_MIN = 2.0

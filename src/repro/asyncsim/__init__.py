@@ -1,0 +1,45 @@
+"""Discrete-event asynchronous engine tier (bounded-delay scheduling).
+
+The synchronous tiers (:mod:`repro.core`) execute the mobile telephone
+model round by round.  This package executes the *asynchronous*
+reformulation of Newport/Weaver/Zheng (arXiv:2102.06804): nodes expose
+per-event handlers instead of round steps, and a pluggable bounded-delay
+:class:`~repro.asyncsim.scheduler.Scheduler` — the adversary — decides
+when each pending event is delivered, subject to delivering it within
+``Δ`` virtual-time ticks.  The one-connection-at-a-time rule survives
+the loss of rounds via connection reservation inside the event loop.
+
+See ``docs/model.md`` ("The asynchronous event model") for the mapping
+between virtual-time traces and the synchronous round invariants.
+"""
+
+from repro.asyncsim.algorithms import (
+    AsyncSetup,
+    async_bit_convergence_setup,
+    blind_gossip_setup,
+    push_pull_setup,
+)
+from repro.asyncsim.engine import EventRecord, EventSimEngine
+from repro.asyncsim.node import AsyncNode, EventView, ProtocolAdapter
+from repro.asyncsim.scheduler import (
+    AdversarialScheduler,
+    RandomScheduler,
+    Scheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "AsyncNode",
+    "AsyncSetup",
+    "AdversarialScheduler",
+    "EventRecord",
+    "EventSimEngine",
+    "EventView",
+    "ProtocolAdapter",
+    "RandomScheduler",
+    "Scheduler",
+    "async_bit_convergence_setup",
+    "blind_gossip_setup",
+    "make_scheduler",
+    "push_pull_setup",
+]

@@ -1,0 +1,102 @@
+"""Event-tier ports of the paper's algorithms (adapter-based).
+
+Each ``*_setup`` builder wraps the existing per-node protocol in a
+:class:`~repro.asyncsim.node.ProtocolAdapter` and bundles it with the
+stabilization predicate and the progress observable the adversarial
+scheduler targets.  Only protocols whose correctness does not lean on
+globally synchronized round numbers are ported: blind gossip and
+PUSH-PULL are memoryless per round, and *async* bit convergence
+(Section VIII's non-synchronized variant) anchors its group boundaries
+to the node's local activity count — which is exactly what a timer
+firing is.  The synchronized bit-convergence protocol is deliberately
+absent: its phase structure dissolves with the rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.algorithms.async_bit_convergence import make_async_bit_convergence_nodes
+from repro.algorithms.blind_gossip import make_blind_gossip_nodes
+from repro.algorithms.push_pull import make_push_pull_nodes
+from repro.asyncsim.node import AsyncNode, ProtocolAdapter
+from repro.core.monitor import all_leaders_are, rumor_complete
+from repro.core.payload import UIDSpace
+
+__all__ = [
+    "AsyncSetup",
+    "blind_gossip_setup",
+    "push_pull_setup",
+    "async_bit_convergence_setup",
+]
+
+
+@dataclass
+class AsyncSetup:
+    """Everything the event engine needs to run one algorithm.
+
+    ``progress`` is the per-node "already holds the eventual value" mask
+    the adversarial scheduler targets; ``stop_when`` is the absorbing
+    stabilization predicate over the live nodes.
+    """
+
+    nodes: list[AsyncNode]
+    stop_when: Callable[[Sequence[AsyncNode]], bool]
+    progress: Callable[[Sequence[AsyncNode]], np.ndarray]
+    tag_length: int
+
+
+def blind_gossip_setup(uid_space: UIDSpace) -> AsyncSetup:
+    """Blind gossip leader election (paper Section V) on the event tier."""
+    protos = make_blind_gossip_nodes(uid_space)
+    winner = uid_space.min_uid()
+    return AsyncSetup(
+        nodes=[ProtocolAdapter(p) for p in protos],
+        stop_when=all_leaders_are(winner),
+        progress=lambda nds: np.array([nd.leader == winner for nd in nds], dtype=bool),
+        tag_length=0,
+    )
+
+
+def push_pull_setup(
+    uid_space: UIDSpace, sources: set[int], direction: str = "both"
+) -> AsyncSetup:
+    """PUSH-PULL rumor spreading (paper Section V) on the event tier."""
+    protos = make_push_pull_nodes(uid_space, sources, direction)
+    return AsyncSetup(
+        nodes=[ProtocolAdapter(p) for p in protos],
+        stop_when=rumor_complete,
+        progress=lambda nds: np.array([nd.informed for nd in nds], dtype=bool),
+        tag_length=0,
+    )
+
+
+def async_bit_convergence_setup(
+    uid_space: UIDSpace,
+    config,
+    seed: int | None = None,
+    *,
+    unique_tags: bool = False,
+) -> AsyncSetup:
+    """Non-synchronized bit convergence (Section VIII) on the event tier.
+
+    The sync-round embedding in
+    :mod:`repro.algorithms.async_bit_convergence` simulates staggered
+    local rounds inside global rounds; here the local rounds are real —
+    each node's group boundaries follow its own timer firings.
+    """
+    protos = make_async_bit_convergence_nodes(
+        uid_space, config, seed, unique_tags=unique_tags
+    )
+    # Stabilization target: the UID of the lexicographically smallest
+    # (id-tag, uid-key) pair — the same winner the sync tests use.
+    winner = min(protos, key=lambda p: p.smallest_pair).uid
+    return AsyncSetup(
+        nodes=[ProtocolAdapter(p) for p in protos],
+        stop_when=all_leaders_are(winner),
+        progress=lambda nds: np.array([nd.leader == winner for nd in nds], dtype=bool),
+        tag_length=protos[0].tag_length,
+    )

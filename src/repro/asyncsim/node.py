@@ -1,0 +1,165 @@
+"""Per-event node interface for the asynchronous tier, plus the adapter.
+
+Where the synchronous tiers drive a :class:`~repro.core.protocol.NodeProtocol`
+through fixed round phases, the event tier drives an :class:`AsyncNode`
+through three handlers:
+
+* :meth:`AsyncNode.on_timer` — the node's local step: it refreshes its
+  advertised :attr:`~AsyncNode.tag`, scans its (currently up) neighbors,
+  and may name one to attempt a connection with;
+* :meth:`AsyncNode.on_connect` — a connection involving the node was
+  established; it composes its half of the symmetric exchange;
+* :meth:`AsyncNode.on_deliver` — the peer's payload arrived.
+
+:class:`ProtocolAdapter` ports any round-based :class:`NodeProtocol` to
+this interface by treating each timer firing as one *local* round —
+exactly the "asynchronous activations" reading of paper Section VIII,
+where a node's local round counter is its own activity count.  Protocols
+whose correctness leans on globally synchronized round numbers (the
+synchronized bit-convergence groups) do not survive this port; the
+non-synchronized variants (blind gossip, PUSH-PULL, async bit
+convergence) do, which is why those three are the tier's algorithm set.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.payload import Message
+from repro.core.protocol import NodeProtocol, RoundView
+
+__all__ = ["EventView", "AsyncNode", "ProtocolAdapter"]
+
+
+@dataclass(frozen=True)
+class EventView:
+    """What a node sees when its timer fires.
+
+    Attributes
+    ----------
+    tick
+        Current virtual time (1-indexed).
+    neighbors
+        Ids of currently up, activated neighbors (empty while ``busy``).
+    neighbor_tags
+        Their advertised tags, aligned with ``neighbors``.
+    rng
+        The node's private generator.
+    busy
+        Whether the node is reserved by an in-flight connection attempt
+        or an open connection — a busy node may update local state but
+        cannot initiate a new connection this step.
+    """
+
+    tick: int
+    neighbors: np.ndarray
+    neighbor_tags: np.ndarray
+    rng: np.random.Generator
+    busy: bool
+
+
+class AsyncNode(ABC):
+    """Base class for event-driven node implementations.
+
+    Handlers mutate local state only; all model-rule enforcement (tag
+    width, neighbor membership, reservation, payload budget) lives in
+    the engine, mirroring the reference-engine split.
+    """
+
+    #: Advertising tag length ``b`` this node requires.
+    tag_length: int = 0
+    #: Currently advertised tag; handlers update it, scanners read it.
+    #: A node advertises 0 until its first local step.
+    tag: int = 0
+
+    @abstractmethod
+    def on_timer(self, view: EventView) -> int | None:
+        """One local step: refresh :attr:`tag`; optionally return a
+        neighbor id to attempt a connection with (``None`` to listen)."""
+
+    @abstractmethod
+    def on_connect(self, peer: int) -> Message:
+        """Compose this node's payload for an established connection."""
+
+    @abstractmethod
+    def on_deliver(self, peer: int, message: Message) -> None:
+        """Handle the peer's payload."""
+
+    # -- fault hooks (repro.faults) ----------------------------------------
+
+    def reset(self) -> None:
+        """Restore initial state (crash/rejoin with reset)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement crash/rejoin reset"
+        )
+
+    def corrupt(self, rng: np.random.Generator, n: int) -> None:
+        """Overwrite local state with arbitrary values."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state corruption"
+        )
+
+
+class ProtocolAdapter(AsyncNode):
+    """Run a round-based :class:`NodeProtocol` on the event tier.
+
+    Each timer firing is one local round: ``choose_tag`` refreshes the
+    advertised tag, ``decide`` (only when free — an occupied node cannot
+    scan or propose) picks the connection target, and ``end_round``
+    closes the local round.  ``compose``/``deliver`` map directly onto
+    the connection handlers.  Note the exchange of local round ``k``
+    completes ticks *after* ``end_round(k)`` ran — harmless for the
+    ported protocols, whose ``end_round`` is stateless and whose
+    ``deliver`` is order-insensitive (monotone adoption).
+
+    Attribute access falls through to the wrapped protocol, so monitor
+    predicates (``leader``, ``informed``) work unchanged.
+    """
+
+    def __init__(self, proto: NodeProtocol):
+        self.proto = proto
+        self.local_step = 0
+        self.tag = 0
+
+    @property
+    def tag_length(self) -> int:  # type: ignore[override]
+        return self.proto.tag_length
+
+    def on_timer(self, view: EventView) -> int | None:
+        self.local_step += 1
+        self.tag = int(self.proto.choose_tag(self.local_step, view.rng))
+        target: int | None = None
+        if not view.busy:
+            rv = RoundView(
+                local_round=self.local_step,
+                neighbors=view.neighbors,
+                neighbor_tags=view.neighbor_tags,
+                rng=view.rng,
+            )
+            t = self.proto.decide(rv)
+            target = None if t is None else int(t)
+        self.proto.end_round()
+        return target
+
+    def on_connect(self, peer: int) -> Message:
+        return self.proto.compose(peer)
+
+    def on_deliver(self, peer: int, message: Message) -> None:
+        self.proto.deliver(peer, message)
+
+    def reset(self) -> None:
+        # The local step counter keeps counting across a reboot, exactly
+        # like the synchronous engines' activation-anchored local round.
+        self.proto.reset()
+        self.tag = 0
+
+    def corrupt(self, rng: np.random.Generator, n: int) -> None:
+        self.proto.corrupt(rng, n)
+
+    def __getattr__(self, name: str):
+        if name == "proto":
+            raise AttributeError(name)
+        return getattr(self.proto, name)

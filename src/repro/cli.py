@@ -180,6 +180,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="run via the chunked large-n engine with K-vertex slabs "
         "(blind_gossip only; incompatible with --fault-plan)",
     )
+    p_sim.add_argument(
+        "--engine",
+        choices=("sync", "async"),
+        default="sync",
+        help="execution model: lock-step rounds (sync, default) or the "
+        "discrete-event bounded-delay tier (async; blind_gossip, "
+        "push_pull, and async_bit_convergence only)",
+    )
+    p_sim.add_argument(
+        "--delta",
+        type=int,
+        default=1,
+        metavar="D",
+        help="bounded-delay parameter for --engine async: every event is "
+        "delivered within [1, D] virtual-time ticks (D=1 is lock-step)",
+    )
+    p_sim.add_argument(
+        "--scheduler",
+        choices=("random", "adversarial"),
+        default="random",
+        help="--engine async event scheduler: seeded uniform delays or "
+        "the worst-case maximal-dilation adversary",
+    )
 
     p_faults = sub.add_parser("faults", help="author and inspect fault plans")
     faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
@@ -355,7 +378,15 @@ def _cmd_simulate(
     fault_plan_path: str | None = None,
     engine_backend: str | None = None,
     chunk_nodes: int | None = None,
+    engine: str = "sync",
+    delta: int = 1,
+    scheduler: str = "random",
 ) -> int:
+    if engine == "async":
+        return _cmd_simulate_async(
+            algorithm, family, params, tau, seed, max_rounds,
+            fault_plan_path, chunk_nodes, engine_backend, delta, scheduler,
+        )
     from repro.algorithms import (
         AsyncBitConvergenceVectorized,
         BitConvergenceConfig,
@@ -463,6 +494,100 @@ def _cmd_simulate(
     return 1
 
 
+def _cmd_simulate_async(
+    algorithm: str,
+    family: str,
+    params: list[int] | None,
+    tau: float,
+    seed: int,
+    max_ticks: int,
+    fault_plan_path: str | None,
+    chunk_nodes: int | None,
+    engine_backend: str | None,
+    delta: int,
+    scheduler: str,
+) -> int:
+    from repro.algorithms import BitConvergenceConfig
+    from repro.asyncsim import (
+        EventSimEngine,
+        async_bit_convergence_setup,
+        blind_gossip_setup,
+        push_pull_setup,
+    )
+    from repro.core.payload import UIDSpace
+    from repro.graphs.dynamic import (
+        PeriodicRelabelDynamicGraph,
+        StaticDynamicGraph,
+        validate_tau,
+    )
+
+    if chunk_nodes is not None or engine_backend is not None:
+        print(
+            "error: --engine async is incompatible with --chunk-nodes "
+            "and --engine-backend",
+            file=sys.stderr,
+        )
+        return 2
+    if delta < 1:
+        print(f"error: --delta must be >= 1, got {delta}", file=sys.stderr)
+        return 2
+    try:
+        tau = validate_tau(tau)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    g = _build_family(family, params, seed)
+    us = UIDSpace(g.n, seed=seed)
+    if algorithm == "blind_gossip":
+        setup = blind_gossip_setup(us)
+    elif algorithm == "push_pull":
+        setup = push_pull_setup(us, {us.winner_vertex()})
+    elif algorithm == "async_bit_convergence":
+        config = BitConvergenceConfig(
+            n_upper=max(g.n, 2), delta_bound=g.max_degree, beta=1.0
+        )
+        setup = async_bit_convergence_setup(us, config, seed, unique_tags=True)
+    else:
+        print(
+            f"error: --engine async supports blind_gossip, push_pull, and "
+            f"async_bit_convergence ({algorithm} needs synchronized rounds)",
+            file=sys.stderr,
+        )
+        return 2
+    dg = (
+        StaticDynamicGraph(g)
+        if math.isinf(tau)
+        else PeriodicRelabelDynamicGraph(g, tau, seed=seed)
+    )
+    plan = None
+    if fault_plan_path:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_file(fault_plan_path)
+        print(f"fault plan : {plan.describe()}")
+    eng = EventSimEngine(
+        dg,
+        setup.nodes,
+        seed=seed,
+        delta=delta,
+        scheduler=scheduler,
+        fault_plan=plan,
+        progress=setup.progress,
+    )
+    res = eng.run_until(max_ticks, setup.stop_when, check_every=4)
+    print(f"algorithm  : {algorithm}")
+    print(f"topology   : {family} (n={g.n}, Delta={g.max_degree}, tau={tau})")
+    print(f"model      : async, delta={delta}, scheduler={scheduler}")
+    if res.stabilized:
+        print(f"stabilized : tick {res.rounds}")
+        print(f"events     : {eng.events_processed} "
+              f"({eng.connections_made} connections)")
+        return 0
+    print(f"did not stabilize within {max_ticks} ticks")
+    return 1
+
+
 def _cmd_faults(args) -> int:
     from repro.faults import FaultPlan, example_plan
 
@@ -567,6 +692,7 @@ def main(argv: list[str] | None = None) -> int:
             args.algorithm, args.family, args.params, args.tau, args.seed,
             args.max_rounds, args.fault_plan,
             args.engine_backend, args.chunk_nodes,
+            args.engine, args.delta, args.scheduler,
         )
     if args.command == "faults":
         return _cmd_faults(args)

@@ -25,7 +25,9 @@ from repro.conformance.differential import (
 from repro.conformance.invariants import (
     AcceptanceStats,
     Violation,
+    check_async_trace,
     check_batched_trace,
+    check_scheduler_fairness,
     check_trace,
 )
 
@@ -35,7 +37,9 @@ __all__ = [
     "FuzzConfig",
     "FuzzSummary",
     "Violation",
+    "check_async_trace",
     "check_batched_trace",
+    "check_scheduler_fairness",
     "check_trace",
     "fuzz",
     "replay_file",

@@ -22,10 +22,20 @@ checking:
   RNG consumption orders differ — so the distributional check is the
   cross-tier ground truth, as in ``tests/test_cross_validation.py``).
 
+A slice of the sampled configurations additionally exercise the
+**asynchronous event tier** (``engine="async"``): the event simulator
+runs the configuration under a sampled scheduler × delay bound Δ, its
+virtual-time trace must pass :func:`check_async_trace` (including the
+scheduler-fairness rule on the raw event log), identical
+``(seed, Δ, scheduler)`` must reproduce a bit-identical event schedule
+and trace, and the tick count must stay within a Δ-scaled band of the
+synchronous vectorized tier's round count.
+
 Every failing configuration is **shrunk**: the fuzzer greedily retries
-simpler variants (drop the fault plan, make the topology static, reduce
-``n``, simplify the family) while the failure persists, and reports the
-minimal still-failing configuration as replayable JSON
+simpler variants (fall back to the synchronous engine, drop the fault
+plan, make the topology static, reduce ``n``, simplify the family,
+Δ → 1, adversarial → random) while the failure persists, and reports
+the minimal still-failing configuration as replayable JSON
 (``repro conformance replay FILE``).  Shrinking is deterministic — the
 whole fuzz session is a pure function of ``(budget, seed)``.
 """
@@ -40,7 +50,10 @@ from typing import Callable
 
 import numpy as np
 
-from repro.conformance.invariants import AcceptanceStats, Violation, check_trace
+from repro.asyncsim.algorithms import blind_gossip_setup, push_pull_setup
+from repro.asyncsim.engine import EventSimEngine
+from repro.asyncsim.scheduler import SCHEDULER_NAMES
+from repro.conformance.invariants import AcceptanceStats, Violation, check_async_trace, check_trace
 from repro.core.batched import BatchedVectorizedEngine
 from repro.core.engine import ReferenceEngine
 from repro.core.monitor import all_leaders_are, rumor_complete
@@ -80,6 +93,16 @@ BLIND_GOSSIP_FAMILIES = ("clique", "star", "wheel")
 POOLED_LOG_RATIO_MAX = math.log(2.0)
 #: Per-config vectorized-vs-batched median-rounds ratio band.
 TIER_RATIO_BAND = (0.25, 4.0)
+#: Algorithms with an event-tier form (native async node classes).
+ASYNC_ALGORITHMS = ("blind_gossip", "push_pull")
+#: Event-tier trials per async configuration (each trial replays the
+#: whole event schedule, so fewer than the vectorized tier).
+ASYNC_TRIALS = 4
+#: Async median-ticks vs sync median-rounds band: the ratio must lie in
+#: ``(lo, hi_per_delta * delta)`` — at Δ=1 the tiers are near lock-step,
+#: and maximal dilation stretches virtual time by at most ~Δ.
+ASYNC_SYNC_RATIO_LO = 0.2
+ASYNC_SYNC_RATIO_HI_PER_DELTA = 8.0
 
 
 @dataclass(frozen=True)
@@ -99,6 +122,9 @@ class FuzzConfig:
     fault: dict | None
     activation: str  # "sync" | "staggered"
     seed: int
+    engine: str = "sync"  # "sync" | "async" (event tier)
+    delta: int = 1  # async delay bound Δ (ignored for engine="sync")
+    scheduler: str = "random"  # async scheduler name
 
     def to_dict(self) -> dict:
         return {
@@ -109,6 +135,9 @@ class FuzzConfig:
             "fault": self.fault,
             "activation": self.activation,
             "seed": self.seed,
+            "engine": self.engine,
+            "delta": self.delta,
+            "scheduler": self.scheduler,
         }
 
     @classmethod
@@ -121,6 +150,9 @@ class FuzzConfig:
             fault=data.get("fault"),
             activation=str(data.get("activation", "sync")),
             seed=int(data["seed"]),
+            engine=str(data.get("engine", "sync")),
+            delta=int(data.get("delta", 1)),
+            scheduler=str(data.get("scheduler", "random")),
         )
 
 
@@ -347,9 +379,125 @@ def run_config(
     return report
 
 
+def _async_setup_for(cfg: FuzzConfig, uids: UIDSpace):
+    """Fresh event-tier nodes + stop predicate for one trial."""
+    if cfg.algorithm == "blind_gossip":
+        return blind_gossip_setup(uids)
+    if cfg.algorithm == "push_pull":
+        return push_pull_setup(uids, sources={0})
+    raise ValueError(f"algorithm {cfg.algorithm!r} has no event-tier form")
+
+
+def _run_async_config(cfg: FuzzConfig, report: ConfigReport) -> None:
+    """Event-tier leg: invariants, fairness, determinism, sync anchor."""
+    if cfg.delta < 1:
+        raise ValueError("delta must be >= 1")
+    bundle = _AlgoBundle(cfg)
+    plan = _build_fault_plan(cfg, bundle.protected)
+    activation = _activation_rounds(cfg)
+    # Virtual time dilates by at most Δ; faults push the quiesce gate.
+    horizon = HORIZONS[cfg.algorithm] * cfg.delta
+    if plan is not None:
+        horizon += plan.quiesce_round
+    seeds = trial_seeds_for(cfg.seed, ASYNC_TRIALS)
+    graph = bundle.graph
+
+    def one_run(trial: int, ts: int):
+        dg = _dg_for(cfg, graph, trial)
+        setup = _async_setup_for(cfg, bundle.uids)
+        eng = EventSimEngine(
+            dg,
+            setup.nodes,
+            seed=ts,
+            delta=cfg.delta,
+            scheduler=cfg.scheduler,
+            activation_rounds=activation,
+            fault_plan=plan,
+            collect_trace=True,
+            collect_events=True,
+        )
+        return eng, dg, setup, eng.run_until(horizon, setup.stop_when, check_every=4)
+
+    results = []
+    for i, ts in enumerate(seeds):
+        eng, dg, setup, res = one_run(i, int(ts))
+        results.append(res)
+        if i < CHECKED_TRACES:
+            for v in check_async_trace(
+                res.trace,
+                dg,
+                tag_length=setup.tag_length,
+                activation_rounds=activation,
+                fault_plan=plan,
+                delta=cfg.delta,
+                events=eng.event_log,
+            ):
+                report.violations.append(
+                    Violation(v.rule, v.round_index, f"async seed {ts}: {v.detail}")
+                )
+        if i == 0:
+            eng2, _, _, res2 = one_run(i, int(ts))
+            if (res.stabilized, res.rounds) != (res2.stabilized, res2.rounds):
+                report.mismatches.append(
+                    f"async rerun outcome differs for seed {ts}: "
+                    f"{(res.stabilized, res.rounds)} vs {(res2.stabilized, res2.rounds)}"
+                )
+            if eng.event_log != eng2.event_log:
+                report.mismatches.append(
+                    f"async event schedule not deterministic for seed {ts}"
+                )
+            if not traces_equal(res.trace, res2.trace):
+                report.mismatches.append(
+                    f"async trace not deterministic for seed {ts}"
+                )
+
+    oks = [r.stabilized for r in results]
+    if not all(oks):
+        report.mismatches.append(
+            f"async tier failed to stabilize within {horizon} ticks "
+            f"({sum(oks)}/{len(oks)} trials, delta={cfg.delta}, "
+            f"scheduler={cfg.scheduler})"
+        )
+        return
+
+    # Sync anchor: the vectorized tier on the same configuration.  Tick
+    # counts and round counts are only comparable up to the Δ dilation,
+    # so the band scales with Δ.
+    sync_horizon = HORIZONS[cfg.algorithm]
+    if plan is not None:
+        sync_horizon += plan.quiesce_round
+    vec_results = []
+    for i, ts in enumerate(seeds):
+        dg = _dg_for(cfg, graph, i)
+        vec_results.append(
+            VectorizedEngine(
+                dg,
+                bundle.vec_algo(int(ts)),
+                seed=int(ts),
+                activation_rounds=activation,
+                fault_plan=plan,
+            ).run(sync_horizon)
+        )
+    if all(r.stabilized for r in vec_results):
+        amed = float(np.median([r.rounds for r in results]))
+        vmed = float(np.median([r.rounds for r in vec_results]))
+        ratio = amed / max(vmed, 1e-9)
+        lo, hi = ASYNC_SYNC_RATIO_LO, ASYNC_SYNC_RATIO_HI_PER_DELTA * cfg.delta
+        if not lo < ratio < hi:
+            report.mismatches.append(
+                f"async/sync median ratio {ratio:.2f} outside ({lo}, {hi}): "
+                f"async ticks={amed}, sync rounds={vmed}, delta={cfg.delta}"
+            )
+
+
 def _run_config_inner(
     cfg: FuzzConfig, report: ConfigReport, acceptance: AcceptanceStats | None
 ) -> None:
+    if cfg.engine == "async":
+        _run_async_config(cfg, report)
+        return
+    if cfg.engine != "sync":
+        raise ValueError(f"unknown engine {cfg.engine!r}")
     bundle = _AlgoBundle(cfg)
     plan = _build_fault_plan(cfg, bundle.protected)
     activation = _activation_rounds(cfg)
@@ -547,6 +695,14 @@ def sample_config(seed: int, index: int) -> FuzzConfig:
             fault["reset"] = False
 
     activation = "staggered" if fault is None and rng.random() < 0.25 else "sync"
+
+    engine, delta, scheduler = "sync", 1, "random"
+    if algorithm in ASYNC_ALGORITHMS and rng.random() < 0.30:
+        engine = "async"
+        delta = int([1, 2, 4, 8][int(rng.integers(0, 4))])
+        scheduler = SCHEDULER_NAMES[int(rng.integers(0, len(SCHEDULER_NAMES)))]
+        n = min(n, 16)  # event replays are per-node-per-tick; keep them small
+
     return FuzzConfig(
         family=family,
         n=n,
@@ -555,6 +711,9 @@ def sample_config(seed: int, index: int) -> FuzzConfig:
         fault=fault,
         activation=activation,
         seed=_int_seed(seed, "conformance-config", index),
+        engine=engine,
+        delta=delta,
+        scheduler=scheduler,
     )
 
 
@@ -568,6 +727,12 @@ def _shrink_candidates(cfg: FuzzConfig) -> list[FuzzConfig]:
     def variant(**kw) -> None:
         out.append(FuzzConfig(**{**cfg.to_dict(), **kw}))
 
+    if cfg.engine == "async":
+        variant(engine="sync", delta=1, scheduler="random")
+        if cfg.delta > 1:
+            variant(delta=1)
+        if cfg.scheduler != "random":
+            variant(scheduler="random")
     if cfg.fault is not None:
         variant(fault=None)
         if cfg.fault.get("kind") == "mixed":

@@ -24,7 +24,20 @@ rule slug                         paper constraint
 ``uniform-acceptance``            a listener with ``k`` incoming proposals
                                   accepts each with probability ``1/k``
                                   (pooled z-test over the whole trace)
+``scheduler-fairness``            (async tier) every scheduled event is
+                                  delivered within ``[1, Δ]`` ticks of
+                                  becoming pending
 ================================  =============================================
+
+The asynchronous event tier (:mod:`repro.asyncsim`) buckets its trace by
+virtual-time tick — one :class:`~repro.core.trace.RoundRecord` per tick —
+and :func:`check_async_trace` runs the structural rules unchanged over
+those buckets.  Two rules change meaning there: uniform-acceptance is
+*not* checked (connection attempts are accepted first-come first-served,
+an order bias that is a feature of the async model, not a bug of the
+engine), and send-xor-receive drops its "listener must accept" half
+(attempts that reach a reserved node are legitimately rejected), exactly
+as it does for sync traces with a connection-drop fault model.
 
 Checkers return :class:`Violation` records rather than raising, so the
 differential fuzzer can collect every problem of a run and shrink the
@@ -55,7 +68,9 @@ __all__ = [
     "Violation",
     "AcceptanceStats",
     "check_trace",
+    "check_async_trace",
     "check_batched_trace",
+    "check_scheduler_fairness",
     "check_tau_stability",
 ]
 
@@ -413,6 +428,85 @@ def check_trace(
         v = local_stats.violation()
         if v is not None:
             violations.append(v)
+    return violations
+
+
+def check_scheduler_fairness(
+    events: Sequence,
+    delta: int,
+    out: list[Violation] | None = None,
+) -> list[Violation]:
+    """Audit an async event log against the bounded-delay guarantee.
+
+    ``events`` is the engine's recorded log of scheduled events
+    (:class:`~repro.asyncsim.engine.EventRecord`); each must have been
+    delivered within ``[1, Δ]`` ticks of becoming pending.  This checks
+    the *scheduler* (including user-supplied ones) the way the other
+    rules check the engines: an adversary may be arbitrarily mean inside
+    the band, never outside it.
+    """
+    violations = out if out is not None else []
+    for ev in events:
+        d = ev.deliver - ev.pending
+        if d < 1 or d > delta:
+            violations.append(
+                Violation(
+                    rule="scheduler-fairness",
+                    round_index=int(ev.deliver),
+                    detail=(
+                        f"{ev.kind} event for node {ev.node} pended "
+                        f"{d} tick(s), outside [1, {delta}]"
+                    ),
+                )
+            )
+    return violations
+
+
+def check_async_trace(
+    trace: Trace,
+    dynamic_graph: DynamicGraph,
+    *,
+    tag_length: int = 0,
+    activation_rounds: Sequence[int] | np.ndarray | None = None,
+    fault_plan: "FaultPlan | None" = None,
+    delta: int = 1,
+    events: Sequence | None = None,
+    check_topology_stability: bool = True,
+) -> list[Violation]:
+    """Validate a tick-bucketed trace from the asynchronous event tier.
+
+    The structural rules (connection-exclusivity, proposals-on-edges,
+    tag-width, activation-consistency, tau-stability) apply per tick
+    bucket exactly as they do per round.  Send-xor-receive runs in its
+    drop-model form — a reserved node legitimately rejects attempts — and
+    uniform-acceptance is skipped entirely: first-come acceptance is the
+    async model's semantics, so rank bias is expected, not a violation.
+    When the engine's event log is supplied, the bounded-delay guarantee
+    is audited via :func:`check_scheduler_fairness`.
+
+    ``activation_rounds`` and the fault plan's windows are interpreted in
+    ticks, matching how :class:`~repro.asyncsim.engine.EventSimEngine`
+    consumes them.
+    """
+    violations: list[Violation] = []
+    n = dynamic_graph.n
+    activation = (
+        None
+        if activation_rounds is None
+        else np.asarray(activation_rounds, dtype=np.int64)
+    )
+    for rec in trace.rounds:
+        r = rec.round_index
+        graph = dynamic_graph.graph_at(r)
+        expected = _expected_active(r, n, activation, fault_plan)
+        _check_round(rec, graph, tag_length, expected, True, violations)
+
+    if check_topology_stability and trace.rounds:
+        check_tau_stability(
+            dynamic_graph, trace.rounds[-1].round_index, violations
+        )
+    if events is not None:
+        check_scheduler_fairness(events, delta, violations)
     return violations
 
 

@@ -341,6 +341,62 @@ def _verify_a3(table: Table) -> list[CheckResult]:
     return [_check("symmetric PUSH-PULL dominates both restrictions", ok, str(rows))]
 
 
+def _verify_a4(table: Table) -> list[CheckResult]:
+    deltas = table.column("delta")
+    ticks = table.column("median ticks")
+    ratios = table.column("ratio to sync rounds")
+    # Near-monotone: at small Delta the random stagger can break the
+    # lock-step proposal collisions and win back its dilation, so allow
+    # 20% dips — but the largest Delta must strictly cost more than 1.
+    monotone = (
+        all(b >= 0.8 * a for a, b in zip(ticks, ticks[1:]))
+        and ticks[-1] > ticks[0]
+    )
+    # An async exchange spans propose -> connect -> deliver, so even at
+    # Delta=1 one synchronous round costs a small constant in ticks.
+    anchored = 1.0 <= ratios[0] <= 8.0
+    span = (ticks[-1] / ticks[0]) / (deltas[-1] / deltas[0])
+    graceful = 0.25 <= span <= 4.0
+    return [
+        _check("ticks near-monotone in Delta", monotone, str(ticks)),
+        _check(
+            "Delta=1 within a constant factor of sync rounds",
+            anchored,
+            f"ratio={ratios[0]:.2f}",
+        ),
+        _check(
+            "degradation roughly linear in Delta",
+            graceful,
+            f"tick growth / Delta growth = {span:.2f}",
+        ),
+    ]
+
+
+def _verify_a5(table: Table) -> list[CheckResult]:
+    deltas = table.column("delta")
+    slow = table.column("slowdown")
+    rand = table.column("random median")
+    adv = table.column("adversarial median")
+    dominates = all(
+        s >= (0.95 if d == 1 else 1.1) for d, s in zip(deltas, slow)
+    )
+    finite = all(m > 0 for m in rand + adv)
+    grows = slow[-1] >= slow[0]
+    return [
+        _check(
+            "adversarial schedule dominates random",
+            dominates,
+            f"slowdowns {[f'{s:.2f}' for s in slow]}",
+        ),
+        _check(
+            "bounded delay keeps stabilization finite",
+            finite,
+            f"adversarial medians {adv}",
+        ),
+        _check("adversary's edge grows with Delta", grows, str(slow)),
+    ]
+
+
 def _verify_s1(table: Table) -> list[CheckResult]:
     return [
         _check(
@@ -378,6 +434,8 @@ VERIFIERS: dict[str, Callable[[Table], list[CheckResult]]] = {
     "A1": _verify_a1,
     "A2": _verify_a2,
     "A3": _verify_a3,
+    "A4": _verify_a4,
+    "A5": _verify_a5,
     "R1": _verify_r1,
     "R2": _verify_r2,
     "R3": _verify_r3,

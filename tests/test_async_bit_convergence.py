@@ -223,6 +223,74 @@ class TestLemmaVIII1PrefixLock:
         assert best == CFG.k
 
 
+class TestEventTierCrossCheck:
+    """The round-embedded simulation vs the real event tier.
+
+    ``make_async_bit_convergence_nodes`` simulates staggered local rounds
+    *inside* globally synchronized rounds; the :mod:`repro.asyncsim`
+    event tier makes the local rounds real (timer firings under a
+    bounded-delay scheduler).  Both must elect the same winner — the
+    owner of the smallest (id-tag, uid) pair — on the same configuration.
+    """
+
+    @pytest.mark.parametrize("scheduler", ["random", "adversarial"])
+    def test_same_winner_as_round_embedding(self, scheduler):
+        from repro.asyncsim import EventSimEngine, async_bit_convergence_setup
+
+        g = families.random_regular(12, 3, seed=0)
+        us = UIDSpace(g.n, seed=1)
+        cfg = BitConvergenceConfig(n_upper=g.n, delta_bound=3, beta=1.0)
+
+        nodes = make_async_bit_convergence_nodes(us, cfg, seed=2, unique_tags=True)
+        winner = min(nodes, key=lambda nd: nd.smallest_pair).uid
+        eng = ReferenceEngine(StaticDynamicGraph(g), nodes, seed=3)
+        sync_res = eng.run(300_000, all_leaders_are(winner))
+        assert sync_res.stabilized
+
+        setup = async_bit_convergence_setup(us, cfg, seed=2, unique_tags=True)
+        async_eng = EventSimEngine(
+            StaticDynamicGraph(g), setup.nodes, seed=3, delta=3,
+            scheduler=scheduler, progress=setup.progress,
+        )
+        async_res = async_eng.run_until(900_000, setup.stop_when, check_every=8)
+        assert async_res.stabilized
+        assert all(nd.leader == winner for nd in setup.nodes)
+
+    def test_round_embedding_results_pinned(self):
+        """Regression pin: the sync-round embedding is bit-unchanged.
+
+        These exact round/connection counts were recorded before the
+        event tier existed; any drift means the old simulation path was
+        disturbed, which the event-tier port must never do.
+        """
+        g = families.random_regular(12, 3, seed=0)
+        us = UIDSpace(g.n, seed=1)
+        cfg = BitConvergenceConfig(n_upper=g.n, delta_bound=3, beta=1.0)
+        expected = {3: (129, 21), 4: (109, 31)}
+        for engine_seed, (rounds, conns) in expected.items():
+            nodes = make_async_bit_convergence_nodes(us, cfg, seed=2, unique_tags=True)
+            winner = min(nodes, key=lambda nd: nd.smallest_pair).uid
+            eng = ReferenceEngine(StaticDynamicGraph(g), nodes, seed=engine_seed)
+            res = eng.run(300_000, all_leaders_are(winner))
+            assert res.stabilized
+            assert (res.rounds, eng.connections_made) == (rounds, conns)
+
+    def test_vectorized_embedding_results_pinned(self):
+        n = 16
+        keys = uid_keys_random(n, 0)
+        expected = {2: 101, 5: 77}
+        for engine_seed, rounds in expected.items():
+            algo = AsyncBitConvergenceVectorized(keys, CFG, tag_seed=1, unique_tags=True)
+            eng = VectorizedEngine(
+                StaticDynamicGraph(families.random_regular(n, 4, seed=0)),
+                algo,
+                seed=engine_seed,
+            )
+            res = eng.run(500_000)
+            assert res.stabilized
+            assert res.rounds == rounds
+
+
 class TestSelfStabilization:
     def test_joined_components_restabilize(self):
         comp_n, degree = 8, 3

@@ -503,3 +503,71 @@ class TestDifferentialFuzzer:
         assert run_config(minimal).failed
         assert minimal.fault is not None
         assert minimal.n == 8 and minimal.tau is None
+
+
+class TestAsyncFuzzing:
+    """The event tier rides along in the differential fuzzer."""
+
+    def test_sampling_covers_the_async_tier(self):
+        configs = [sample_config(0, i) for i in range(60)]
+        asyncs = [c for c in configs if c.engine == "async"]
+        assert asyncs, "no async configuration in 60 samples"
+        assert {c.scheduler for c in asyncs} <= {"random", "adversarial"}
+        assert all(c.algorithm in ("blind_gossip", "push_pull") for c in asyncs)
+        assert all(1 <= c.delta <= 8 and c.n <= 16 for c in asyncs)
+
+    def test_async_config_runs_clean(self):
+        cfg = FuzzConfig(
+            family="clique", n=10, algorithm="blind_gossip", tau=2,
+            fault={"kind": "drop", "p": 0.1}, activation="sync", seed=11,
+            engine="async", delta=4, scheduler="adversarial",
+        )
+        report = run_config(cfg)
+        assert not report.failed, report.failure_lines()
+
+    def test_async_config_json_roundtrip_and_legacy_defaults(self):
+        import json
+
+        cfg = FuzzConfig(
+            family="ring", n=8, algorithm="push_pull", tau=None,
+            fault=None, activation="sync", seed=3,
+            engine="async", delta=2, scheduler="random",
+        )
+        assert FuzzConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+        # Pre-async repro files carry no engine/delta/scheduler keys.
+        legacy = {k: v for k, v in cfg.to_dict().items()
+                  if k not in ("engine", "delta", "scheduler")}
+        old = FuzzConfig.from_dict(legacy)
+        assert (old.engine, old.delta, old.scheduler) == ("sync", 1, "random")
+
+    def test_shrink_falls_back_to_sync_then_simplifies_schedule(self):
+        cfg = FuzzConfig(
+            family="ring", n=16, algorithm="blind_gossip", tau=2,
+            fault={"kind": "drop", "p": 0.1}, activation="sync", seed=9,
+            engine="async", delta=8, scheduler="adversarial",
+        )
+        # Oracle blames the engine alone: the minimum is the simplest
+        # async configuration.
+        m = shrink(cfg, lambda c: c.engine == "async")
+        assert (m.engine, m.delta, m.scheduler) == ("async", 1, "random")
+        assert m.fault is None and m.tau is None and m.n == 8
+        # Oracle blames the adversary at delta > 1: both survive shrinking.
+        m2 = shrink(
+            cfg,
+            lambda c: c.engine == "async"
+            and c.scheduler == "adversarial"
+            and c.delta > 1,
+        )
+        assert m2.engine == "async" and m2.scheduler == "adversarial"
+        assert m2.delta > 1 and m2.fault is None
+
+    def test_async_failure_is_detected_and_reported(self):
+        # delta=0 is invalid: the exception surfaces as a finding.
+        cfg = FuzzConfig(
+            family="clique", n=8, algorithm="push_pull", tau=None,
+            fault=None, activation="sync", seed=0,
+            engine="async", delta=0, scheduler="random",
+        )
+        report = run_config(cfg)
+        assert report.failed
+        assert any("delta" in line for line in report.mismatches)

@@ -38,7 +38,7 @@ class TestHelpers:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        expected = {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "R1", "R2", "R3", "S1"}
+        expected = {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "A4", "A5", "R1", "R2", "R3", "S1"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):
@@ -114,6 +114,8 @@ class TestTinySmoke:
             ("A1", dict(n=12, degree=3, multipliers=(1, 2), trials=2)),
             ("A2", dict(n=12, degree=3, betas=(1.0,), trials=2)),
             ("A3", dict(leaves=4, regular_n=10, degree=3, trials=2)),
+            ("A4", dict(n=12, degree=3, deltas=(1, 2), trials=2)),
+            ("A5", dict(n=12, degree=3, deltas=(1, 2), trials=2)),
             ("R1", dict(leaves=4, drop_ps=(0.0, 0.4), trials=2)),
             ("R2", dict(n=12, degree=3, fractions=(0.5, 1.0), trials=2)),
             ("R3", dict(n=12, degree=3, crash_fracs=(0.0, 0.25), trials=2)),
