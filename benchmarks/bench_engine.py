@@ -833,6 +833,38 @@ def test_async_vs_sync_round_ratio():
     )
 
 
+#: Tournament cells per second must stay within tolerance of the baseline
+#: record — a drop means the adversary construction or the per-trial loop
+#: in ``run_tournament_trial`` got slower, not that elections changed.
+TOURNAMENT_BENCH_GRID = dict(
+    n=16, degree=4, taus=(1, 2), trials=2, max_rounds=300,
+    assassin_period=6, assassin_kills=2, churn_events=6, churn_last=20,
+)
+
+
+def test_tournament_cell_throughput():
+    """Tournament cells (adversary × τ, trials included) per second.
+
+    One full ``exp_tournament`` grid over every adversary at two taus,
+    median of three repeats.  Exercises adversary graph/plan construction,
+    the manual step loop with ``last_active`` plumbing, and the
+    ``LiveAgreementMonitor`` — the whole per-cell path the T-series and
+    the ``repro tournament`` CLI ride on.
+    """
+    from repro.harness.tournament import ADVERSARIES, exp_tournament
+
+    cells = len(ADVERSARIES) * len(TOURNAMENT_BENCH_GRID["taus"])
+    samples = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        table = exp_tournament("push_pull", **TOURNAMENT_BENCH_GRID)
+        elapsed = time.perf_counter() - t0
+        assert len(table.rows) == cells
+        samples.append(cells / elapsed)
+    samples.sort()
+    _measurements["tournament_cell_throughput"] = samples[len(samples) // 2]
+
+
 def test_churn_trajectory_record():
     """Append this run's measurements to the committed trajectory file.
 

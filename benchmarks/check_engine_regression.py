@@ -105,6 +105,7 @@ GATED = (
     ("graph_memo_hit_ratio", True),
     ("graph_memo_warm_speedup", True),
     ("async_vs_sync_round_ratio", False),
+    ("tournament_cell_throughput", True),
 )
 
 #: Absolute (machine-dependent) context values that must exist in the

@@ -214,6 +214,12 @@ class EventSimEngine:
         self._fault_rng: np.random.Generator | None = None
         if fault_plan is not None:
             fault_plan.validate_for(n)
+            if fault_plan.membership is not None and not fault_plan.membership.is_empty():
+                raise NotImplementedError(
+                    "the event tier does not support open-world membership "
+                    "schedules; run membership plans on the sync tiers "
+                    "(reference/vectorized/batched)"
+                )
             self._fault_rng = make_rng(seed, "faults")
             self._gate = fault_plan.quiesce_round
             cr = fault_plan.crashes

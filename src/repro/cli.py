@@ -244,6 +244,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_replay.add_argument("repro", help="path to the repro JSON")
 
+    p_tour = sub.add_parser(
+        "tournament",
+        help="run the algorithm × adversary robustness tournament and print "
+        "the ranked leaderboard",
+    )
+    p_tour.add_argument("--profile", choices=("quick", "standard"), default="quick")
+    p_tour.add_argument(
+        "--checkpoint-dir", default="tournament-checkpoints", metavar="D",
+        help="directory for per-algorithm checkpoint JSONs (the campaign "
+        "scheduler makes the run durable and resumable)",
+    )
+    p_tour.add_argument(
+        "--resume", action="store_true",
+        help="reload valid checkpoints instead of re-running their grids",
+    )
+    p_tour.add_argument(
+        "--pool-workers", type=int, default=None, metavar="K",
+        help="run algorithm grids on a K-worker pool (tables are "
+        "bit-identical to a serial run)",
+    )
+    p_tour.add_argument(
+        "--max-retries", type=int, default=2, metavar="K",
+        help="extra attempts per grid before the campaign gives up on it",
+    )
+    p_tour.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-grid shape checks",
+    )
+    p_tour.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the leaderboard + per-algorithm grids here",
+    )
+
     p_report = sub.add_parser(
         "report", help="assemble saved benchmark results into a markdown report"
     )
@@ -325,6 +358,46 @@ def _cmd_experiments_run_all(args) -> int:
             fh.write(text)
         print(f"results text written to {args.output}")
     return 0 if report.ok else 1
+
+
+def _cmd_tournament(args) -> int:
+    from repro.harness.campaign import (
+        CampaignConfig,
+        checkpoint_path,
+        run_campaign,
+    )
+    from repro.harness.persistence import load_document
+    from repro.harness.tournament import TOURNAMENT_EXP_IDS, tournament_leaderboard
+
+    config = CampaignConfig(
+        checkpoint_dir=args.checkpoint_dir,
+        profile=args.profile,
+        exp_ids=list(TOURNAMENT_EXP_IDS),
+        resume=args.resume,
+        max_retries=args.max_retries,
+        verify=not args.no_verify,
+        pool_workers=args.pool_workers,
+    )
+    report = run_campaign(config, progress=lambda line: print(line, flush=True))
+    print(report.summary(), flush=True)
+    if not report.ok:
+        return 1
+    tables = {}
+    for exp_id in TOURNAMENT_EXP_IDS:
+        doc = load_document(
+            checkpoint_path(config.checkpoint_dir, exp_id, config.profile)
+        )
+        tables[exp_id] = doc.table
+    board = tournament_leaderboard(tables)
+    print()
+    print(board.render())
+    if args.output:
+        blocks = [board.render()]
+        blocks += [tables[exp_id].render() for exp_id in TOURNAMENT_EXP_IDS]
+        with open(args.output, "w") as fh:
+            fh.write("\n\n".join(blocks) + "\n")
+        print(f"\nleaderboard written to {args.output}")
+    return 0
 
 
 def _cmd_experiments_verify(exp_id: str, profile: str) -> int:
@@ -700,6 +773,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bounds(args.n, args.alpha, args.delta, args.tau)
     if args.command == "conformance":
         return _cmd_conformance(args)
+    if args.command == "tournament":
+        return _cmd_tournament(args)
     if args.command == "report":
         from repro.harness.reporting import write_report
 

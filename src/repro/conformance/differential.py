@@ -60,7 +60,15 @@ from repro.core.monitor import all_leaders_are, rumor_complete
 from repro.core.payload import UIDSpace
 from repro.core.trace import traces_equal
 from repro.core.vectorized import VectorizedEngine
-from repro.faults.plan import CrashSchedule, CrashWindow, ConnectionDropModel, FaultPlan, TagCorruptionModel
+from repro.faults.plan import (
+    CrashSchedule,
+    CrashWindow,
+    ConnectionDropModel,
+    FaultPlan,
+    TagCorruptionModel,
+    leader_assassin_schedule,
+    random_membership_schedule,
+)
 from repro.graphs import families
 from repro.graphs.dynamic import PeriodicRelabelDynamicGraph, StaticDynamicGraph
 from repro.harness.runner import trial_seeds_for
@@ -242,6 +250,38 @@ def _build_fault_plan(cfg: FuzzConfig, protected: set[int]) -> FaultPlan | None:
             crashes=CrashSchedule(windows),
             connection_drop=ConnectionDropModel(p=float(spec["p"])),
         )
+    if kind == "membership":
+        # Open-world churn.  Protected slots (the rumor source / eventual
+        # winner) are pinned live: their permanent departure would make
+        # the stabilization target unreachable by construction.
+        schedule = random_membership_schedule(
+            cfg.n,
+            int(spec["events"]),
+            first_round=2,
+            last_round=int(spec["last"]),
+            seed=cfg.seed,
+            initial_absent=int(spec.get("absent", 0)),
+            clean_fraction=float(spec.get("clean", 0.5)),
+            min_live=2,
+            protect=tuple(sorted(protected)),
+        )
+        return FaultPlan(membership=schedule, n=cfg.n)
+    if kind == "assassin":
+        # Keys are recomputed exactly as _AlgoBundle derives them, so the
+        # schedule targets the same UIDs the algorithms run with.  Every
+        # victim rejoins after one period (finite down_for), keeping the
+        # closed-world convergence targets reachable after quiesce.
+        uids = UIDSpace(cfg.n, seed=cfg.seed)
+        keys = np.array([uids.uid_of(v)._key for v in range(cfg.n)], dtype=np.int64)
+        period = int(spec["period"])
+        schedule = leader_assassin_schedule(
+            keys,
+            period=period,
+            kills=int(spec["kills"]),
+            first_round=3,
+            down_for=period,
+        )
+        return FaultPlan(membership=schedule, n=cfg.n)
     raise ValueError(f"unknown fault kind {kind!r}")
 
 
@@ -652,8 +692,27 @@ def sample_config(seed: int, index: int) -> FuzzConfig:
 
     roll = rng.random()
     fault: dict | None
-    if roll < 0.40:
+    if roll < 0.30:
         fault = None
+    elif roll < 0.40:
+        # Open-world membership: never for bit convergence (no tier
+        # implements a reset hook, and a join must bring fresh state).
+        if algorithm == "bit_convergence":
+            fault = None
+        elif rng.random() < 0.5:
+            fault = {
+                "kind": "membership",
+                "events": int(rng.integers(3, 9)),
+                "last": int(rng.integers(8, 25)),
+                "absent": int(rng.integers(0, max(1, n // 6) + 1)),
+                "clean": 0.5,
+            }
+        else:
+            fault = {
+                "kind": "assassin",
+                "period": int(rng.integers(4, 9)),
+                "kills": int(rng.integers(1, 3)),
+            }
     elif roll < 0.55:
         fault = {"kind": "drop", "p": float([0.1, 0.3][int(rng.integers(0, 2))])}
     elif roll < 0.65:
@@ -664,10 +723,14 @@ def sample_config(seed: int, index: int) -> FuzzConfig:
     elif roll < 0.80:
         count = int(rng.integers(1, 3))
         windows = []
+        start = int(rng.integers(2, 10))
         for _ in range(count):
-            start = int(rng.integers(2, 10))
             end = start + int(rng.integers(1, 8))
             windows.append([int(rng.integers(0, 8)), start, end])
+            # Keep windows disjoint in time: two draws may land on the same
+            # node (ids are folded mod n downstream), and overlapping
+            # windows for one node are rejected at plan construction.
+            start = end + 1 + int(rng.integers(0, 3))
         fault = {"kind": "crash", "windows": windows}
         if algorithm == "bit_convergence":
             # No tier implements a bit-convergence reset hook; rejoin with
@@ -697,7 +760,10 @@ def sample_config(seed: int, index: int) -> FuzzConfig:
     activation = "staggered" if fault is None and rng.random() < 0.25 else "sync"
 
     engine, delta, scheduler = "sync", 1, "random"
-    if algorithm in ASYNC_ALGORITHMS and rng.random() < 0.30:
+    open_world = fault is not None and fault["kind"] in ("membership", "assassin")
+    # The event tier rejects membership plans by contract; keep
+    # open-world configurations on the synchronous tiers.
+    if algorithm in ASYNC_ALGORITHMS and not open_world and rng.random() < 0.30:
         engine = "async"
         delta = int([1, 2, 4, 8][int(rng.integers(0, 4))])
         scheduler = SCHEDULER_NAMES[int(rng.integers(0, len(SCHEDULER_NAMES)))]
@@ -740,6 +806,15 @@ def _shrink_candidates(cfg: FuzzConfig) -> list[FuzzConfig]:
             variant(fault={"kind": "crash", "windows": cfg.fault["windows"]})
         if cfg.fault.get("kind") == "crash" and len(cfg.fault["windows"]) > 1:
             variant(fault={"kind": "crash", "windows": cfg.fault["windows"][:1]})
+        # Shrink toward the closed world: fewer membership events, no
+        # initially absent slots, a single-victim assassin.
+        if cfg.fault.get("kind") == "membership":
+            if int(cfg.fault.get("absent", 0)) > 0:
+                variant(fault={**cfg.fault, "absent": 0})
+            if int(cfg.fault["events"]) > 1:
+                variant(fault={**cfg.fault, "events": max(1, int(cfg.fault["events"]) // 2)})
+        if cfg.fault.get("kind") == "assassin" and int(cfg.fault["kills"]) > 1:
+            variant(fault={**cfg.fault, "kills": 1})
     if cfg.tau is not None:
         variant(tau=None)
     if cfg.activation != "sync":

@@ -27,6 +27,12 @@ rule slug                         paper constraint
 ``scheduler-fairness``            (async tier) every scheduled event is
                                   delivered within ``[1, Δ]`` ticks of
                                   becoming pending
+``membership-silence``            (open world) an absent slot neither
+                                  proposes, accepts, nor advertises a tag
+``membership-cap``                (open world) the live population stays in
+                                  ``[1, max_live]`` every recorded round
+``join-state-freshness``          (open world) every join / clean departure
+                                  is covered by the engines' reset stream
 ================================  =============================================
 
 The asynchronous event tier (:mod:`repro.asyncsim`) buckets its trace by
@@ -70,6 +76,8 @@ __all__ = [
     "check_trace",
     "check_async_trace",
     "check_batched_trace",
+    "check_join_freshness",
+    "check_membership_round",
     "check_scheduler_fairness",
     "check_tau_stability",
 ]
@@ -374,7 +382,126 @@ def _expected_active(
     )
     if fault_plan is not None and fault_plan.crashes is not None:
         base = base & ~fault_plan.crashes.down_at(r, n)
+    if fault_plan is not None and fault_plan.membership is not None:
+        base = base & ~fault_plan.membership.down_at(r, n)
     return base
+
+
+def _plan_membership(fault_plan: "FaultPlan | None"):
+    if fault_plan is None or fault_plan.membership is None:
+        return None
+    return None if fault_plan.membership.is_empty() else fault_plan.membership
+
+
+def check_membership_round(
+    rec, membership, n: int, out: list[Violation]
+) -> None:
+    """Audit one round record against an open-world membership schedule.
+
+    ``membership-silence``: a slot the schedule marks absent in round
+    ``r`` must be invisible — no proposal endpoint, no connection
+    endpoint, tag recorded as ``-1``.  ``membership-cap``: the live
+    population (present slots) stays within ``[1, max_live or n]``, and
+    the recorded active mask never exceeds the schedule's presence.
+    """
+    r = rec.round_index
+    down = membership.down_at(r, n)
+    if not down.any():
+        live = n
+    else:
+        live = int(n - down.sum())
+        for arr, what in ((rec.proposals, "proposal"), (rec.connections, "connection")):
+            if arr.size == 0:
+                continue
+            bad = down[arr.ravel()]
+            if bad.any():
+                slot = int(arr.ravel()[np.flatnonzero(bad)[0]])
+                out.append(
+                    Violation(
+                        rule="membership-silence",
+                        round_index=r,
+                        detail=f"absent slot {slot} appears in a {what}",
+                    )
+                )
+        bad_tags = np.flatnonzero(down & (rec.tags != -1))
+        if bad_tags.size:
+            out.append(
+                Violation(
+                    rule="membership-silence",
+                    round_index=r,
+                    detail=(
+                        f"absent slot {int(bad_tags[0])} advertised tag "
+                        f"{int(rec.tags[bad_tags[0]])} (must be -1)"
+                    ),
+                )
+            )
+        active_on_down = np.flatnonzero(rec.active & down)
+        if active_on_down.size:
+            out.append(
+                Violation(
+                    rule="membership-silence",
+                    round_index=r,
+                    detail=(
+                        f"absent slot {int(active_on_down[0])} recorded as "
+                        f"active ({active_on_down.size} slot(s) total)"
+                    ),
+                )
+            )
+    cap = membership.max_live if membership.max_live is not None else n
+    if not 1 <= live <= cap:
+        out.append(
+            Violation(
+                rule="membership-cap",
+                round_index=r,
+                detail=f"live population {live} outside [1, {cap}]",
+            )
+        )
+    recorded = int(np.count_nonzero(rec.active))
+    if recorded > cap:
+        out.append(
+            Violation(
+                rule="membership-cap",
+                round_index=r,
+                detail=f"{recorded} active slots exceed the declared cap {cap}",
+            )
+        )
+
+
+def check_join_freshness(
+    fault_plan: "FaultPlan", n: int, out: list[Violation] | None = None
+) -> list[Violation]:
+    """Every join / clean departure must reset the slot's protocol state.
+
+    Audits the fault-state plumbing the engines actually consume
+    (rule ``join-state-freshness``): the merged ``rejoin_resets`` stream
+    of :class:`~repro.faults.apply.SingleFaultState` must cover every
+    ``join`` and ``depart_clean`` event of the plan's membership
+    schedule, so a returning slot can never carry state from a previous
+    incarnation.
+    """
+    from repro.faults.apply import SingleFaultState
+    from repro.util.rng import make_rng
+
+    violations = out if out is not None else []
+    membership = _plan_membership(fault_plan)
+    if membership is None:
+        return violations
+    state = SingleFaultState(fault_plan, n, make_rng(0, "conformance-freshness"))
+    for ev in membership.events:
+        if ev.kind == "depart":
+            continue  # crash-like: state freezes, by design
+        if ev.slot not in state.rejoin_resets(ev.round):
+            violations.append(
+                Violation(
+                    rule="join-state-freshness",
+                    round_index=ev.round,
+                    detail=(
+                        f"slot {ev.slot} {ev.kind}s at round {ev.round} "
+                        "without a state reset in the fault stream"
+                    ),
+                )
+            )
+    return violations
 
 
 def check_trace(
@@ -412,17 +539,22 @@ def check_trace(
     )
     local_stats = acceptance_stats if acceptance_stats is not None else AcceptanceStats()
 
+    membership = _plan_membership(fault_plan)
     for rec in trace.rounds:
         r = rec.round_index
         graph = dynamic_graph.graph_at(r)
         expected = _expected_active(r, n, activation, fault_plan)
         _check_round(rec, graph, tag_length, expected, has_drop, violations)
+        if membership is not None:
+            check_membership_round(rec, membership, n, violations)
         add_acceptance_samples(local_stats, rec.proposals, rec.connections)
 
     if check_topology_stability and trace.rounds:
         check_tau_stability(
             dynamic_graph, trace.rounds[-1].round_index, violations
         )
+    if membership is not None:
+        check_join_freshness(fault_plan, n, violations)
 
     if acceptance_stats is None:
         v = local_stats.violation()

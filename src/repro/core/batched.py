@@ -378,6 +378,10 @@ class BatchedVectorizedEngine:
         #: Replicas still running (convergence masking).
         self.live = np.ones(self.replicas, dtype=bool)
         self.rounds_executed = 0
+        #: Shared (n,) live/active mask of the most recent round (``None``
+        #: before the first).  Open-world monitors read it after ``step``.
+        self.last_active: np.ndarray | None = None
+        self._all_active: np.ndarray | None = None
         #: Cumulative connections established per replica (2 messages each).
         self.connections_made = np.zeros(self.replicas, dtype=np.int64)
         # Stacked-CSR cache: strong refs to the graphs backing the current
@@ -583,6 +587,11 @@ class BatchedVectorizedEngine:
         )
         if not force and rows.size > limit:
             return False
+        if self._all_active is None:
+            self._all_active = np.ones(self.n, dtype=bool)
+        # Sparse preconditions (sync activation, no faults) mean every
+        # node is live this round.
+        self.last_active = self._all_active
         self._sparse_step(r, graph, rows)
         return True
 
@@ -650,16 +659,29 @@ class BatchedVectorizedEngine:
                 self.algo.corrupt_state(self.state, victims, faults.rng)
             up = faults.up_mask(r)
             if up is not None:
-                # Crash schedules are shared (n,) plan data, so the mask
-                # folds into `active` before the all-active fast path test.
+                # Crash/membership schedules are shared (n,) plan data, so
+                # the mask folds into `active` before the all-active fast
+                # path test.
                 active = active & up
+        else:
+            up = None
+        #: Final shared live/active mask of this round (monitors read it).
+        self.last_active = active
+
+        def _masked_obs():
+            obs = self.algo.observable(self.state)
+            if obs is not None and up is not None:
+                # Dead slots are invisible: the adversary may not react
+                # to state frozen in a crashed/departed slot.
+                obs = np.asarray(obs) & up[None, :]
+            return obs
 
         if self.bdg is not None:
-            self.bdg.observe(r, self.algo.observable(self.state))
+            self.bdg.observe(r, _masked_obs())
         elif self.dgs is not None and any(
             isinstance(dg, AdaptiveDynamicGraph) for dg in self.dgs
         ):
-            obs = self.algo.observable(self.state)
+            obs = _masked_obs()
             for t, dg in enumerate(self.dgs):
                 if isinstance(dg, AdaptiveDynamicGraph):
                     dg.observe(r, None if obs is None else obs[t])

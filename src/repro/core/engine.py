@@ -108,6 +108,9 @@ class ReferenceEngine:
         self.rounds_executed = 0
         #: Cumulative connections established (2 messages each).
         self.connections_made = 0
+        #: Live/active mask of the most recent round (``None`` before the
+        #: first).  Open-world monitors read it after each ``step``.
+        self.last_active: np.ndarray | None = None
 
     # -- single round -------------------------------------------------------
 
@@ -121,16 +124,22 @@ class ReferenceEngine:
         from repro.core.protocol import RumorProtocol
         from repro.graphs.adversary import AdaptiveDynamicGraph
 
+        faults = self._faults
         if isinstance(self.dg, AdaptiveDynamicGraph):
             # The reference engine exposes the informed mask for rumor
             # protocols; other protocols expose nothing.
             obs = None
             if all(isinstance(p, RumorProtocol) for p in self.protocols):
                 obs = np.array([p.informed for p in self.protocols], dtype=bool)
+                if faults is not None:
+                    # Dead slots are invisible: the adversary may not
+                    # react to state frozen in a crashed/departed slot.
+                    up = faults.up_mask(r)
+                    if up is not None:
+                        obs = obs & up
             self.dg.observe(r, obs)
         graph = self.dg.graph_at(r)
         active = self.activation <= r
-        faults = self._faults
         if faults is not None:
             # Start-of-round fault events: rejoin resets, then corruption.
             for v in faults.rejoin_resets(r):
@@ -141,6 +150,8 @@ class ReferenceEngine:
             up = faults.up_mask(r)
             if up is not None:
                 active = active & up
+        #: Final live/active mask of this round (monitors read it).
+        self.last_active = active
         tags = np.full(self.n, -1, dtype=np.int64)
 
         # 1. Tag selection happens before the scan (paper Section III).

@@ -21,13 +21,17 @@ from __future__ import annotations
 
 from typing import Sequence, TypeVar
 
+import numpy as np
+
 from repro.core.payload import UID
 from repro.core.protocol import LeaderElectionProtocol, RumorProtocol
 
 __all__ = [
+    "LiveAgreementMonitor",
     "all_leaders_are",
     "all_leaders_equal",
     "excluding_permanently_crashed",
+    "live_population_agrees",
     "rumor_complete",
 ]
 
@@ -38,14 +42,17 @@ def excluding_permanently_crashed(protocols: Sequence[_P], fault_plan) -> list[_
     """The protocols of nodes that never permanently crash under ``fault_plan``.
 
     The sub-sequence a stabilization predicate should quantify over when
-    the plan contains ``end=None`` crash windows; with no plan (or no
-    permanent crashes) this is simply ``list(protocols)``.
+    the plan contains ``end=None`` crash windows or membership slots that
+    never return; with no plan (or nothing permanent) this is simply
+    ``list(protocols)``.
     """
-    if fault_plan is None or fault_plan.crashes is None:
+    if fault_plan is None:
         return list(protocols)
-    dead = {
-        w.node for w in fault_plan.crashes.windows if w.end is None
-    }
+    dead: set[int] = set()
+    if fault_plan.crashes is not None:
+        dead |= {w.node for w in fault_plan.crashes.windows if w.end is None}
+    if fault_plan.membership is not None:
+        dead |= set(fault_plan.membership.never_return())
     if not dead:
         return list(protocols)
     return [p for v, p in enumerate(protocols) if v not in dead]
@@ -80,3 +87,85 @@ def all_leaders_equal(protocols: Sequence[LeaderElectionProtocol]) -> bool:
 def rumor_complete(protocols: Sequence[RumorProtocol]) -> bool:
     """Every node knows the rumor (absorbing: knowledge is never lost)."""
     return all(p.informed for p in protocols)
+
+
+def live_population_agrees(values, live, *, leader_keys=None) -> bool:
+    """One round of the open-world agreement predicate.
+
+    Election mode (``leader_keys`` given): every live slot holds the same
+    value, and that value is the key of some *live* slot — agreement on a
+    departed leader does not count.  Rumor mode (``leader_keys=None``):
+    ``values`` is boolean and every live slot is informed.  An empty live
+    population never agrees (there is nobody to lead).
+    """
+    live = np.asarray(live, dtype=bool)
+    if not live.any():
+        return False
+    values = np.asarray(values)
+    if leader_keys is None:
+        return bool(values[live].all())
+    lv = values[live]
+    if not (lv == lv[0]).all():
+        return False
+    return bool((np.asarray(leader_keys)[live] == lv[0]).any())
+
+
+class LiveAgreementMonitor:
+    """Open-world stabilization: the live population agrees, stable for ``τ``.
+
+    Under open-world membership no predicate over node state is absorbing
+    — a join resets a slot to fresh state, and the agreed leader itself
+    may depart — so the closed-world monitors above do not apply.  The
+    Augustine et al. notion instead asks that *the currently-live
+    population* agree on a *live* leader and keep that same agreement for
+    ``stable_for`` consecutive rounds.  Feed this monitor one observation
+    per round (engines expose the live mask as ``last_active``); it
+    latches :attr:`stabilized_round` — the first round of the certifying
+    streak — once the condition has held ``stable_for`` rounds in a row.
+
+    Churn after the latch is deliberately ignored: the tournament scores
+    *whether and when* a run first reached τ-stable agreement, and a
+    latched monitor keeps reporting that round.
+    """
+
+    def __init__(self, stable_for: int, *, leader_keys=None):
+        if stable_for < 1:
+            raise ValueError(f"stable_for must be >= 1, got {stable_for}")
+        self.stable_for = int(stable_for)
+        self._keys = None if leader_keys is None else np.asarray(leader_keys)
+        self._last_round = 0
+        self._streak = 0
+        self._streak_value: object = None
+        self.stabilized_round: int | None = None
+
+    @property
+    def stabilized(self) -> bool:
+        return self.stabilized_round is not None
+
+    def observe(self, r: int, values, live) -> bool:
+        """Record round ``r``; return whether stabilization is certified."""
+        if self._last_round and r != self._last_round + 1:
+            raise ValueError(
+                f"observe() must be called once per round in order; "
+                f"got round {r} after {self._last_round}"
+            )
+        self._last_round = r
+        if self.stabilized:
+            return True
+        agrees = live_population_agrees(values, live, leader_keys=self._keys)
+        if not agrees:
+            self._streak = 0
+            self._streak_value = None
+            return False
+        if self._keys is None:
+            value: object = True
+        else:
+            value = np.asarray(values)[np.asarray(live, dtype=bool)][0].item()
+        if self._streak > 0 and value == self._streak_value:
+            self._streak += 1
+        else:
+            self._streak = 1
+            self._streak_value = value
+        if self._streak >= self.stable_for:
+            self.stabilized_round = r - self._streak + 1
+        return self.stabilized

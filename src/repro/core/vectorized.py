@@ -305,6 +305,10 @@ class VectorizedEngine:
         self._undone_mask: np.ndarray | None = None
         self._undone_idx: np.ndarray | None = None
         self._proposed: np.ndarray | None = None
+        self._all_active: np.ndarray | None = None
+        #: Live/active mask of the most recent round (``None`` before the
+        #: first).  Open-world monitors read it after each ``step``.
+        self.last_active: np.ndarray | None = None
 
     # -- sparse-activity rounds -------------------------------------------
 
@@ -376,6 +380,11 @@ class VectorizedEngine:
         )
         if not force and rows.size > limit:
             return False
+        if self._all_active is None:
+            self._all_active = np.ones(self.n, dtype=bool)
+        # Sparse preconditions (sync activation, no faults) mean every
+        # node is live this round.
+        self.last_active = self._all_active
         self._sparse_step(r, graph, rows)
         return True
 
@@ -428,14 +437,21 @@ class VectorizedEngine:
 
         if self._try_sparse_step(r):
             return
+        faults = self._faults
         if isinstance(self.dg, AdaptiveDynamicGraph):
-            self.dg.observe(r, self.algo.observable(self.state))
+            obs = self.algo.observable(self.state)
+            if obs is not None and faults is not None:
+                # Dead slots are invisible: the adversary may not react
+                # to state frozen in a crashed/departed slot.
+                up = faults.up_mask(r)
+                if up is not None:
+                    obs = np.asarray(obs) & up
+            self.dg.observe(r, obs)
         graph = self.dg.graph_at(r)
         active = self.activation <= r
         local_rounds = np.maximum(r - self.activation + 1, 0)
         rng = self._rng
 
-        faults = self._faults
         if faults is not None:
             # Start-of-round fault events: rejoin resets, then corruption.
             nodes = faults.rejoin_resets(r)
@@ -446,6 +462,8 @@ class VectorizedEngine:
             up = faults.up_mask(r)
             if up is not None:
                 active = active & up
+        #: Final live/active mask of this round (monitors read it).
+        self.last_active = active
 
         tags = self.algo.tags(self.state, local_rounds, active, rng)
         sender_mask = (

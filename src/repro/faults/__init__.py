@@ -17,10 +17,14 @@ from repro.faults.plan import (
     CrashSchedule,
     CrashWindow,
     FaultPlan,
+    MembershipEvent,
+    MembershipSchedule,
     StateCorruptionEvent,
     TagCorruptionModel,
     example_plan,
+    leader_assassin_schedule,
     random_crash_schedule,
+    random_membership_schedule,
 )
 
 __all__ = [
@@ -29,9 +33,13 @@ __all__ = [
     "ConnectionDropModel",
     "TagCorruptionModel",
     "StateCorruptionEvent",
+    "MembershipEvent",
+    "MembershipSchedule",
     "FaultPlan",
     "SingleFaultState",
     "BatchedFaultState",
     "random_crash_schedule",
+    "random_membership_schedule",
+    "leader_assassin_schedule",
     "example_plan",
 ]

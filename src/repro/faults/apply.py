@@ -43,10 +43,34 @@ class _FaultStateBase:
         #: First round from which convergence checks are meaningful.
         self.gate = plan.quiesce_round
         self._schedule = plan.crashes if plan.crashes and not plan.crashes.is_empty() else None
-        self._transitions = (
-            self._schedule.transition_rounds() if self._schedule else frozenset()
+        self._membership = (
+            plan.membership
+            if plan.membership is not None and not plan.membership.is_empty()
+            else None
         )
-        self._rejoins = self._schedule.rejoin_resets() if self._schedule else {}
+        transitions = (
+            set(self._schedule.transition_rounds()) if self._schedule else set()
+        )
+        if self._membership is not None:
+            transitions |= set(self._membership.transition_rounds())
+        self._transitions = frozenset(transitions)
+        resets: dict[int, set[int]] = {
+            r: set(nodes)
+            for r, nodes in (
+                self._schedule.rejoin_resets() if self._schedule else {}
+            ).items()
+        }
+        if self._membership is not None:
+            # A crash rejoin on a membership-absent slot is moot: the slot
+            # stays down, and the eventual join resets it anyway.
+            for r in list(resets):
+                down = self._membership.down_at(r, n)
+                resets[r] = {v for v in resets[r] if not down[v]}
+                if not resets[r]:
+                    del resets[r]
+            for r, slots in self._membership.state_resets().items():
+                resets.setdefault(r, set()).update(slots)
+        self._rejoins = {r: tuple(sorted(v)) for r, v in resets.items()}
         self._events = {}
         for e in plan.state_corruption:
             self._events.setdefault(e.round, []).append(e)
@@ -67,24 +91,40 @@ class _FaultStateBase:
             for w in self._schedule.windows:
                 if w.end is None:
                     perma[w.node] = True
+        if self._membership is not None:
+            for s in self._membership.never_return():
+                perma[s] = True
         self.perma_down: np.ndarray | None = perma if perma.any() else None
 
     def up_mask(self, r: int) -> np.ndarray | None:
-        """``(n,)`` mask of non-crashed nodes, or ``None`` when all are up.
+        """``(n,)`` mask of live nodes, or ``None`` when all are up.
 
-        Recomputed only at window edges; between edges the cached mask is
-        reused (rounds must be visited in order, as engines do).
+        A node is down when a crash window covers ``r`` *or* the
+        membership schedule has it absent in ``r``.  Recomputed only at
+        window edges / membership events; between edges the cached mask
+        is reused (rounds must be visited in order, as engines do).
         """
-        if self._schedule is None:
+        if self._schedule is None and self._membership is None:
             return None
         if self._up_round == 0 or r in self._transitions:
-            down = self._schedule.down_at(r, self.n)
+            if self._schedule is not None:
+                down = self._schedule.down_at(r, self.n)
+            else:
+                down = np.zeros(self.n, dtype=bool)
+            if self._membership is not None:
+                down |= self._membership.down_at(r, self.n)
             self._up = None if not down.any() else ~down
         self._up_round = r
         return self._up
 
     def rejoin_resets(self, r: int) -> np.ndarray:
-        """Nodes whose state resets at the start of round ``r``."""
+        """Nodes whose state resets at the start of round ``r``.
+
+        Crash rejoins with ``reset_on_rejoin``, membership joins (fresh
+        state is what makes a join open-world), and clean departures
+        (wiped on the way out) all funnel through this one hook, which is
+        how membership lands identically on every engine tier.
+        """
         return np.asarray(self._rejoins.get(r, ()), dtype=np.int64)
 
     def events_at(self, r: int):

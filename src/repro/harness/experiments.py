@@ -53,6 +53,11 @@ from repro.graphs.dynamic import (
 from repro.graphs.static import Graph
 from repro.harness.runner import run_trials, run_trials_batched, trial_summary
 from repro.harness.tables import Table
+from repro.harness.tournament import (
+    exp_tournament_blind_gossip,
+    exp_tournament_ppush,
+    exp_tournament_push_pull,
+)
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -2627,6 +2632,36 @@ EXPERIMENTS: dict[str, Experiment] = {
             quick=dict(sizes=(8192, 32768, 131072), trials=3),
             standard=dict(
                 sizes=(65536, 262144, 1048576), trials=3, check_every=4
+            ),
+        ),
+        Experiment(
+            "T1",
+            "Tournament: blind gossip vs the adversary grid (open-world)",
+            exp_tournament_blind_gossip,
+            quick=dict(n=24, degree=6, taus=(1, 2, 4), trials=4, max_rounds=600),
+            standard=dict(
+                n=48, degree=6, taus=(1, 4, 16), trials=10, max_rounds=1500,
+                churn_events=24, churn_last=80,
+            ),
+        ),
+        Experiment(
+            "T2",
+            "Tournament: PUSH-PULL vs the adversary grid (open-world)",
+            exp_tournament_push_pull,
+            quick=dict(n=24, degree=6, taus=(1, 2, 4), trials=4, max_rounds=600),
+            standard=dict(
+                n=48, degree=6, taus=(1, 4, 16), trials=10, max_rounds=1500,
+                churn_events=24, churn_last=80,
+            ),
+        ),
+        Experiment(
+            "T3",
+            "Tournament: PPUSH vs the adversary grid (open-world)",
+            exp_tournament_ppush,
+            quick=dict(n=24, degree=6, taus=(1, 2, 4), trials=4, max_rounds=600),
+            standard=dict(
+                n=48, degree=6, taus=(1, 4, 16), trials=10, max_rounds=1500,
+                churn_events=24, churn_last=80,
             ),
         ),
     ]

@@ -411,6 +411,47 @@ def _verify_s1(table: Table) -> list[CheckResult]:
     ]
 
 
+def _verify_tournament(table: Table) -> list[CheckResult]:
+    import math as _math
+
+    adversaries = {str(a) for a in table.column("adversary")}
+    survival = [float(s) for s in table.column("survival")]
+    baseline = [
+        (float(s), float(i))
+        for a, s, i in zip(
+            table.column("adversary"), survival, table.column("inflation")
+        )
+        if a == "none"
+    ]
+    required = {"none", "assassin", "openworld"}
+    return [
+        _check(
+            "adversary grid covers >= 4 adversaries incl. open-world + assassin",
+            len(adversaries) >= 4 and required <= adversaries,
+            f"adversaries: {sorted(adversaries)}",
+        ),
+        _check(
+            "faultless baseline survives every tau with inflation 1",
+            bool(baseline)
+            and all(s == 1.0 and _math.isclose(i, 1.0) for s, i in baseline),
+            f"{len(baseline)} baseline cells",
+        ),
+        _check(
+            "survival rates are proper fractions",
+            all(0.0 <= s <= 1.0 for s in survival),
+            f"{len(survival)} cells",
+        ),
+        _check(
+            "inflation defined (finite) wherever a trial survived",
+            all(
+                _math.isfinite(float(i)) or float(s) == 0.0
+                for s, i in zip(survival, table.column("inflation"))
+            ),
+            "inf only on zero-survivor cells",
+        ),
+    ]
+
+
 VERIFIERS: dict[str, Callable[[Table], list[CheckResult]]] = {
     "E1": _verify_e1,
     "E2": _verify_e2,
@@ -440,6 +481,9 @@ VERIFIERS: dict[str, Callable[[Table], list[CheckResult]]] = {
     "R2": _verify_r2,
     "R3": _verify_r3,
     "S1": _verify_s1,
+    "T1": _verify_tournament,
+    "T2": _verify_tournament,
+    "T3": _verify_tournament,
 }
 
 

@@ -38,7 +38,7 @@ class TestHelpers:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        expected = {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "A4", "A5", "R1", "R2", "R3", "S1"}
+        expected = {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "A4", "A5", "R1", "R2", "R3", "S1", "T1", "T2", "T3"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):

@@ -144,7 +144,7 @@ class TestJsonRoundTrip:
 
     def test_describe_mentions_every_model(self):
         text = example_plan().describe()
-        for fragment in ("crash", "drop", "flip", "corruption", "quiesce"):
+        for fragment in ("crash", "drop", "flip", "corruption", "membership", "quiesce"):
             assert fragment in text
         assert FaultPlan().describe() == "empty plan (no faults)"
 
@@ -181,16 +181,39 @@ class TestCrashSchedule:
         )
         assert sched.rejoin_resets() == {}
 
-    def test_overlapping_window_delays_reset(self):
-        # Node 0's first window ends at 10, but a second window still
+    def test_adjacent_window_delays_reset(self):
+        # Node 0's first window ends at 10, but an adjacent window still
         # holds it down through 15: the round-11 reset must not fire.
         sched = CrashSchedule(
             (
                 CrashWindow(node=0, start=5, end=10),
-                CrashWindow(node=0, start=8, end=15),
+                CrashWindow(node=0, start=11, end=15),
             )
         )
         assert sched.rejoin_resets() == {16: (0,)}
+
+    def test_overlapping_windows_for_one_node_rejected(self):
+        with pytest.raises(ValueError, match="overlapping crash windows"):
+            CrashSchedule(
+                (
+                    CrashWindow(node=0, start=5, end=10),
+                    CrashWindow(node=0, start=8, end=15),
+                )
+            )
+        with pytest.raises(ValueError, match="overlapping"):
+            CrashSchedule(
+                (
+                    CrashWindow(node=3, start=5, end=None),
+                    CrashWindow(node=3, start=50, end=60),
+                )
+            )
+        # Distinct nodes may overlap freely.
+        CrashSchedule(
+            (
+                CrashWindow(node=0, start=5, end=10),
+                CrashWindow(node=1, start=8, end=15),
+            )
+        )
 
     def test_quiesce_round(self):
         assert CrashSchedule((CrashWindow(node=0, start=3, end=5),)).quiesce_round() == 6

@@ -1,0 +1,130 @@
+"""The algorithm × adversary robustness tournament (T-series)."""
+
+import math
+
+import pytest
+
+from repro.harness.campaign import CampaignConfig, checkpoint_path, run_campaign
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.persistence import load_document
+from repro.harness.tournament import (
+    ADVERSARIES,
+    TOURNAMENT_EXP_IDS,
+    exp_tournament,
+    run_tournament_trial,
+    tournament_leaderboard,
+)
+from repro.harness.verify import verify_experiment
+
+#: A grid small enough for CI but covering every adversary and two taus.
+TINY = dict(n=12, degree=4, taus=(1, 2), trials=2, max_rounds=250,
+            assassin_period=6, assassin_kills=2, churn_events=6, churn_last=20)
+
+
+class TestTrialRunner:
+    def test_trial_deterministic(self):
+        a = run_tournament_trial("blind_gossip", "openworld", 2, n=12, degree=4,
+                                 max_rounds=250, trial_seed=11)
+        b = run_tournament_trial("blind_gossip", "openworld", 2, n=12, degree=4,
+                                 max_rounds=250, trial_seed=11)
+        assert a == b
+
+    def test_faultless_trial_survives(self):
+        for algo in ("blind_gossip", "push_pull", "ppush"):
+            r = run_tournament_trial(algo, "none", 2, n=12, degree=4,
+                                     max_rounds=400, trial_seed=3)
+            assert r is not None and r >= 1
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown tournament algorithm"):
+            run_tournament_trial("raft", "none", 1, n=8, degree=3,
+                                 max_rounds=10, trial_seed=0)
+
+
+class TestGridTable:
+    def test_grid_shape_and_determinism(self):
+        a = exp_tournament("push_pull", **TINY)
+        b = exp_tournament("push_pull", **TINY)
+        assert a.rows == b.rows
+        assert len(a.rows) == len(ADVERSARIES) * 2  # two taus
+        assert set(a.column("adversary")) == set(ADVERSARIES)
+
+    def test_baseline_rows_anchor_inflation(self):
+        table = exp_tournament("ppush", **TINY)
+        for row in table.rows:
+            cells = dict(zip(table.columns, row))
+            if cells["adversary"] == "none":
+                assert cells["survival"] == 1.0
+                assert math.isclose(float(cells["inflation"]), 1.0)
+            assert 0.0 <= float(cells["survival"]) <= 1.0
+            if float(cells["survival"]) > 0.0:
+                assert math.isfinite(float(cells["inflation"]))
+
+    def test_verifier_passes_on_tiny_grid(self):
+        table = exp_tournament("blind_gossip", **TINY)
+        results = verify_experiment("T1", table)
+        assert all(r.passed for r in results)
+
+    def test_grid_requires_baseline(self):
+        with pytest.raises(ValueError, match="'none' baseline"):
+            exp_tournament("ppush", adversaries=("relabel",), **TINY)
+
+    def test_registered_in_experiments(self):
+        for exp_id in TOURNAMENT_EXP_IDS:
+            assert exp_id in EXPERIMENTS
+            assert EXPERIMENTS[exp_id].quick  # has a quick profile
+            assert EXPERIMENTS[exp_id].standard
+
+
+class TestLeaderboard:
+    def test_leaderboard_ranks_and_covers_pairs(self):
+        tables = {
+            "T2": exp_tournament("push_pull", **TINY),
+            "T3": exp_tournament("ppush", **TINY),
+        }
+        board = tournament_leaderboard(tables)
+        assert len(board.rows) == 2 * len(ADVERSARIES)
+        ranks = board.column("rank")
+        assert ranks == list(range(1, len(board.rows) + 1))
+        surv = [float(s) for s in board.column("survival")]
+        assert surv == sorted(surv, reverse=True)
+        algos = set(board.column("algorithm"))
+        assert algos == {"push_pull", "ppush"}
+
+
+class TestTournamentCampaign:
+    def _config(self, tmp_path, **kw):
+        overrides = {eid: dict(TINY) for eid in TOURNAMENT_EXP_IDS}
+        return CampaignConfig(
+            checkpoint_dir=tmp_path / "ckpt",
+            profile="quick",
+            exp_ids=list(TOURNAMENT_EXP_IDS),
+            overrides=overrides,
+            **kw,
+        )
+
+    def test_campaign_checkpoints_resume_and_pool_parity(self, tmp_path):
+        serial = run_campaign(self._config(tmp_path))
+        assert serial.ok
+        docs = {
+            eid: load_document(checkpoint_path(tmp_path / "ckpt", eid, "quick"))
+            for eid in TOURNAMENT_EXP_IDS
+        }
+        # Resume touches nothing.
+        resumed = run_campaign(self._config(tmp_path, resume=True))
+        assert resumed.ok and all(c.status == "resumed" for c in resumed.cells)
+        # A pooled run of the same grids is bit-identical, table for table.
+        pooled_dir = tmp_path / "pooled"
+        pooled_cfg = CampaignConfig(
+            checkpoint_dir=pooled_dir,
+            profile="quick",
+            exp_ids=list(TOURNAMENT_EXP_IDS),
+            overrides={eid: dict(TINY) for eid in TOURNAMENT_EXP_IDS},
+            pool_workers=2,
+        )
+        assert run_campaign(pooled_cfg).ok
+        for eid in TOURNAMENT_EXP_IDS:
+            pdoc = load_document(checkpoint_path(pooled_dir, eid, "quick"))
+            assert pdoc.table.rows == docs[eid].table.rows
+        board = tournament_leaderboard({e: d.table for e, d in docs.items()})
+        assert len(board.rows) == len(TOURNAMENT_EXP_IDS) * len(ADVERSARIES)
