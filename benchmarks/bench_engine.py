@@ -865,6 +865,39 @@ def test_tournament_cell_throughput():
     _measurements["tournament_cell_throughput"] = samples[len(samples) // 2]
 
 
+def test_live_transport_throughput():
+    """Live-tier rounds/sec over real localhost sockets at two scales.
+
+    Fixed-round runs (stabilization ignored) so the measurement is pure
+    protocol + transport + barrier cost: a 64-node blind-gossip clique
+    (the dense worst case — ~4k TCP channels, every edge carries frames
+    every round) and a 256-node ring (4× the tasks, thin edges).  These
+    are wall-clock numbers over real sockets, so the regression floors
+    sit far below the measured medians.
+    """
+    from repro.live import LiveRunConfig, run_live
+
+    for key, cfg in (
+        (
+            "live_rounds_per_sec_n64",
+            LiveRunConfig(
+                algorithm="blind_gossip", family="clique", n=64,
+                seed=0, fixed_rounds=6, collect_trace=False,
+            ),
+        ),
+        (
+            "live_rounds_per_sec_n256",
+            LiveRunConfig(
+                algorithm="blind_gossip", family="ring", n=256,
+                seed=0, fixed_rounds=10, collect_trace=False,
+            ),
+        ),
+    ):
+        report = run_live(cfg)
+        assert report.result.rounds == cfg.fixed_rounds
+        _measurements[key] = report.rounds_per_sec
+
+
 def test_churn_trajectory_record():
     """Append this run's measurements to the committed trajectory file.
 
@@ -895,4 +928,4 @@ def test_churn_trajectory_record():
     if TRAJECTORY_PATH.exists():
         data = json.loads(TRAJECTORY_PATH.read_text())
     data["records"].append(record)
-    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2, allow_nan=False) + "\n")

@@ -48,9 +48,15 @@ asserts):
   runners with different core counts.
 
 Absolute context values (``ms_per_round_n1e5``, ``ms_per_round_n1e6``,
-``pool_cpu_count``, ``async_events_per_sec``) must be present — their
-producing benches must have run — but their magnitudes are
-machine-dependent and not gated.
+``pool_cpu_count``, ``async_events_per_sec``, ``live_rounds_per_sec_n64``,
+``live_rounds_per_sec_n256``) must be present — their producing benches
+must have run — but their magnitudes are machine-dependent and not gated.
+
+All files are parsed with a *strict* RFC 8259 parser (``parse_constant``
+raising), so a non-finite ``Infinity``/``NaN`` token leaking into any
+harness-written JSON fails the gate immediately.  Extra paths after the
+BENCH file (e.g. tournament leaderboard/checkpoint documents) are
+strict-parsed the same way without being gated.
 
 A ratio present in the current record but absent from every prior record
 is a *new metric* (added after the baselines were committed): it is
@@ -60,9 +66,10 @@ produces it did not run.
 
 Usage::
 
-    python benchmarks/check_engine_regression.py [BENCH_engine.json]
+    python benchmarks/check_engine_regression.py [BENCH_engine.json] [EXTRA_JSON...]
 
-Exit status 0 on pass (or when no baseline exists yet), 1 on regression.
+Exit status 0 on pass (or when no baseline exists yet), 1 on regression
+or on any strict-parse failure.
 """
 
 from __future__ import annotations
@@ -116,7 +123,32 @@ REQUIRED_PRESENT = (
     "ms_per_round_n1e6",
     "pool_cpu_count",
     "async_events_per_sec",
+    "live_rounds_per_sec_n64",
+    "live_rounds_per_sec_n256",
 )
+
+
+def _reject_constant(token: str):
+    raise ValueError(f"non-standard JSON constant {token!r} is not RFC 8259")
+
+
+def strict_loads(text: str):
+    """Parse ``text`` as strict RFC 8259 JSON (``Infinity``/``NaN`` raise)."""
+    return json.loads(text, parse_constant=_reject_constant)
+
+
+def strict_parse_files(paths: list[Path]) -> int:
+    """Strict-parse each file; report per-file verdicts, return #failures."""
+    failures = 0
+    for extra in paths:
+        try:
+            strict_loads(extra.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"STRICT-PARSE FAIL {extra}: {exc}")
+            failures += 1
+        else:
+            print(f"strict-parse ok {extra}")
+    return failures
 
 #: The pooled-campaign floor only applies on runners with this many CPUs.
 PARALLEL_SPEEDUP_MIN = 2.0
@@ -142,7 +174,11 @@ def _trend_table(rows: list[tuple[str, str, str, str, str]]) -> str:
 
 
 def check(path: Path) -> int:
-    data = json.loads(path.read_text())
+    try:
+        data = strict_loads(path.read_text())
+    except ValueError as exc:
+        print(f"{path}: not strict RFC 8259 JSON: {exc}")
+        return 1
     records = data.get("records", [])
     if not records:
         print(f"{path}: no records; nothing to check")
@@ -244,4 +280,7 @@ def check(path: Path) -> int:
 if __name__ == "__main__":
     default = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
     target = Path(sys.argv[1]) if len(sys.argv) > 1 else default
-    sys.exit(check(target))
+    status = check(target)
+    if strict_parse_files([Path(p) for p in sys.argv[2:]]):
+        status = 1
+    sys.exit(status)

@@ -29,6 +29,12 @@ Commands
     replayable JSON repro files.
 ``conformance replay REPRO.json``
     Re-run one repro file and report whether it still fails.
+``live run --algorithm A --family F --nodes N [--tau T] [--fault-plan P]``
+    Deploy the algorithm over real localhost sockets — every node an
+    asyncio task with its own TCP listener — run to stabilization, and
+    optionally invariant-check the live trace (``--check``) or
+    cross-check its stabilization distribution against the reference
+    engine (``--compare-reference K``).
 """
 
 from __future__ import annotations
@@ -244,6 +250,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_replay.add_argument("repro", help="path to the repro JSON")
 
+    p_live = sub.add_parser(
+        "live", help="run protocols over real localhost sockets (deployment tier)"
+    )
+    live_sub = p_live.add_subparsers(dest="live_command", required=True)
+    p_live_run = live_sub.add_parser(
+        "run", help="one live localhost run: real TCP per edge, shared Trace out"
+    )
+    p_live_run.add_argument(
+        "--algorithm", default="blind_gossip",
+        choices=("blind_gossip", "push_pull", "ppush", "bit_convergence"),
+    )
+    p_live_run.add_argument(
+        "--family", default="clique",
+        choices=("clique", "ring", "path", "star", "wheel", "random_regular"),
+    )
+    p_live_run.add_argument("--nodes", type=int, default=16, metavar="N")
+    p_live_run.add_argument(
+        "--degree", type=int, default=8, help="random_regular only"
+    )
+    p_live_run.add_argument(
+        "--tau", type=float, default=math.inf,
+        help="churn period (rounds between relabelings; inf = static)",
+    )
+    p_live_run.add_argument("--seed", type=int, default=0)
+    p_live_run.add_argument("--max-rounds", type=int, default=10_000)
+    p_live_run.add_argument(
+        "--rounds", type=int, default=None, metavar="R",
+        help="run exactly R rounds, ignoring stabilization (bench mode)",
+    )
+    p_live_run.add_argument(
+        "--fault-plan", default=None, metavar="PLAN.json",
+        help="inject crash / connection-drop faults as real network events",
+    )
+    p_live_run.add_argument(
+        "--wall-clock-limit", type=float, default=None, metavar="SECONDS",
+        help="hard bound on the whole run's wall clock",
+    )
+    p_live_run.add_argument(
+        "--check", action="store_true",
+        help="run the conformance invariant checkers on the live trace",
+    )
+    p_live_run.add_argument(
+        "--compare-reference", type=int, default=None, metavar="K",
+        help="instead of one run, cross-check K live trials against the "
+        "reference engine's stabilization distribution",
+    )
+
     p_tour = sub.add_parser(
         "tournament",
         help="run the algorithm × adversary robustness tournament and print "
@@ -274,7 +327,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tour.add_argument(
         "--output", default=None, metavar="PATH",
-        help="also write the leaderboard + per-algorithm grids here",
+        help="also write the leaderboard + per-algorithm grids here; a "
+        ".json path uses the checkpoint document format, so non-finite "
+        "cells (the inf inflation sentinel) round-trip portably",
     )
 
     p_report = sub.add_parser(
@@ -392,10 +447,25 @@ def _cmd_tournament(args) -> int:
     print()
     print(board.render())
     if args.output:
-        blocks = [board.render()]
-        blocks += [tables[exp_id].render() for exp_id in TOURNAMENT_EXP_IDS]
-        with open(args.output, "w") as fh:
-            fh.write("\n\n".join(blocks) + "\n")
+        if args.output.endswith(".json"):
+            from repro.harness.persistence import _table_to_json, save_table
+
+            save_table(
+                board,
+                args.output,
+                exp_id="TOURNAMENT",
+                profile=args.profile,
+                extra={
+                    "grids": {
+                        e: _table_to_json(tables[e]) for e in TOURNAMENT_EXP_IDS
+                    }
+                },
+            )
+        else:
+            blocks = [board.render()]
+            blocks += [tables[exp_id].render() for exp_id in TOURNAMENT_EXP_IDS]
+            with open(args.output, "w") as fh:
+                fh.write("\n\n".join(blocks) + "\n")
         print(f"\nleaderboard written to {args.output}")
     return 0
 
@@ -724,6 +794,72 @@ def _cmd_conformance(args) -> int:
     return 1
 
 
+def _cmd_live(args) -> int:
+    from repro.conformance.invariants import check_trace
+    from repro.conformance.livecheck import live_reference_check
+    from repro.faults import FaultPlan
+    from repro.live import LiveRunConfig, run_live
+    from repro.live.run import _dynamic_graph, build_bundle, build_graph
+
+    plan = FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
+    cfg = LiveRunConfig(
+        algorithm=args.algorithm,
+        family=args.family,
+        n=args.nodes,
+        degree=args.degree,
+        tau=args.tau,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        fixed_rounds=args.rounds,
+        fault_plan=plan,
+        wall_clock_limit=args.wall_clock_limit,
+    )
+
+    if args.compare_reference is not None:
+        mismatches = live_reference_check(
+            cfg, live_trials=args.compare_reference, log=print
+        )
+        if mismatches:
+            print(f"\n{len(mismatches)} mismatch(es):")
+            for line in mismatches:
+                print(f"  {line}")
+            return 1
+        print("\nlive runs conform to the reference engine")
+        return 0
+
+    report = run_live(cfg)
+    result = report.result
+    if args.rounds is not None:
+        print(f"ran {result.rounds} fixed rounds over live sockets")
+    elif result.stabilized:
+        print(f"stabilized after {result.rounds} rounds over live sockets")
+    else:
+        print(f"did not stabilize within {result.rounds} rounds")
+    print(
+        f"  {report.rounds_per_sec:.1f} rounds/sec, "
+        f"{report.connections_made} connections, "
+        f"{report.frames_sent} frames, {report.elapsed:.2f}s wall clock"
+    )
+    status = 0 if (args.rounds is not None or result.stabilized) else 1
+    if args.check and report.trace is not None:
+        graph = build_graph(cfg)
+        bundle = build_bundle(cfg, graph)
+        violations = check_trace(
+            report.trace,
+            _dynamic_graph(cfg, graph),
+            tag_length=bundle.tag_length,
+            fault_plan=cfg.fault_plan,
+        )
+        if violations:
+            print(f"  {len(violations)} invariant violation(s):")
+            for v in violations:
+                print(f"    {v}")
+            status = 1
+        else:
+            print("  live trace passes all model-invariant checks")
+    return status
+
+
 def _cmd_bounds(n: int, alpha: float, delta: int, tau: float) -> int:
     from repro.analysis import bounds
 
@@ -773,6 +909,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bounds(args.n, args.alpha, args.delta, args.tau)
     if args.command == "conformance":
         return _cmd_conformance(args)
+    if args.command == "live":
+        return _cmd_live(args)
     if args.command == "tournament":
         return _cmd_tournament(args)
     if args.command == "report":

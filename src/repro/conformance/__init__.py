@@ -10,7 +10,10 @@ still obeys them after optimization work:
 * :mod:`repro.conformance.differential` — a seeded fuzzer that samples
   configurations, cross-checks engine tiers against each other, runs
   the invariant checkers on every trace, and shrinks failures to a
-  minimal replayable JSON repro.
+  minimal replayable JSON repro;
+* :mod:`repro.conformance.livecheck` — the live-transport tier's
+  cross-check: invariant-checks live traces and compares their
+  stabilization distribution against the reference engine.
 """
 
 from repro.conformance.differential import (
@@ -22,6 +25,7 @@ from repro.conformance.differential import (
     run_config,
     shrink,
 )
+from repro.conformance.livecheck import live_reference_check
 from repro.conformance.invariants import (
     AcceptanceStats,
     Violation,
@@ -42,6 +46,7 @@ __all__ = [
     "check_scheduler_fairness",
     "check_trace",
     "fuzz",
+    "live_reference_check",
     "replay_file",
     "run_config",
     "shrink",

@@ -923,6 +923,7 @@ def write_repro(report: ConfigReport, path: str | Path) -> None:
         json.dumps(
             {"config": report.config.to_dict(), "failures": report.failure_lines()},
             indent=2,
+            allow_nan=False,
         )
         + "\n"
     )

@@ -1,0 +1,130 @@
+"""Live-vs-reference cross-check: does real transport change the model?
+
+The live tier claims to execute the *same* round semantics as the
+simulators, just over sockets.  This module audits that claim the same
+way the differential fuzzer audits engine tiers against each other:
+
+* every live trace must pass the full invariant checkers
+  (:func:`~repro.conformance.invariants.check_trace`) — connection
+  exclusivity, tag width, proposals-on-live-edges, τ stability,
+  activation consistency;
+* the live stabilization-round distribution must be statistically
+  consistent with :class:`~repro.core.engine.ReferenceEngine` on the
+  identical configuration (same graph, UID space, protocols, fault
+  plan).  The two tiers draw acceptance from different streams, so
+  per-trace equality is impossible by construction; instead the
+  median-stabilization ratio must fall inside the fuzzer's
+  :data:`~repro.conformance.differential.TIER_RATIO_BAND` — the exact
+  tolerance the fuzzer applies between simulator tiers;
+* live acceptance choices feed the fuzzer's pooled uniform-acceptance
+  z-test (:class:`~repro.conformance.invariants.AcceptanceStats`), so a
+  biased live acceptor would be flagged just like a biased engine.
+
+Live trials are expensive (real sockets), so the check runs a few live
+trials against a larger reference sample; the band is wide enough that
+the small live sample cannot false-positive under honest execution.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import replace
+
+from repro.conformance.differential import TIER_RATIO_BAND
+from repro.conformance.invariants import AcceptanceStats, check_trace
+from repro.live.run import (
+    LiveRunConfig,
+    _dynamic_graph,
+    build_bundle,
+    build_graph,
+    reference_result,
+    run_live,
+    trial_config,
+)
+
+__all__ = ["live_reference_check", "LIVE_TRIALS", "REFERENCE_TRIALS"]
+
+#: Default trial counts: live runs cost real wall-clock, reference runs
+#: are cheap, and the median of the larger sample anchors the ratio.
+LIVE_TRIALS = 4
+REFERENCE_TRIALS = 12
+
+
+def live_reference_check(
+    cfg: LiveRunConfig,
+    *,
+    live_trials: int = LIVE_TRIALS,
+    reference_trials: int = REFERENCE_TRIALS,
+    acceptance: AcceptanceStats | None = None,
+    log=None,
+) -> list[str]:
+    """Run the live-vs-reference conformance check for one configuration.
+
+    Returns a list of human-readable mismatch/violation strings (empty =
+    conformant).  Every live trace is invariant-checked; stabilization
+    medians are compared inside :data:`TIER_RATIO_BAND`.
+    """
+    mismatches: list[str] = []
+    base = replace(cfg, collect_trace=True)
+    acceptance_pool = acceptance if acceptance is not None else AcceptanceStats()
+
+    live_rounds: list[int] = []
+    for i in range(live_trials):
+        trial = trial_config(base, i)
+        report = run_live(trial)
+        if not report.result.stabilized:
+            mismatches.append(
+                f"live trial {i} (seed {trial.seed}) did not stabilize "
+                f"within {trial.max_rounds} rounds"
+            )
+            continue
+        live_rounds.append(report.result.rounds)
+        graph = build_graph(trial)
+        bundle = build_bundle(trial, graph)
+        violations = check_trace(
+            report.trace,
+            _dynamic_graph(trial, graph),
+            tag_length=bundle.tag_length,
+            fault_plan=trial.fault_plan,
+            acceptance_stats=acceptance_pool,
+        )
+        mismatches.extend(
+            f"live trial {i} (seed {trial.seed}): {v}" for v in violations
+        )
+        if log:
+            log(f"live trial {i}: stabilized in {report.result.rounds} rounds")
+
+    ref_rounds: list[int] = []
+    for i in range(reference_trials):
+        trial = trial_config(base, i)
+        result = reference_result(trial)
+        if not result.stabilized:
+            mismatches.append(
+                f"reference trial {i} (seed {trial.seed}) did not stabilize "
+                f"within {trial.max_rounds} rounds"
+            )
+            continue
+        ref_rounds.append(result.rounds)
+
+    if live_rounds and ref_rounds:
+        live_med = statistics.median(live_rounds)
+        ref_med = statistics.median(ref_rounds)
+        ratio = live_med / max(ref_med, 1e-9)
+        lo, hi = TIER_RATIO_BAND
+        if not (lo <= ratio <= hi):
+            mismatches.append(
+                f"live/reference median stabilization ratio {ratio:.3f} "
+                f"(live {live_med:g} vs reference {ref_med:g}) outside "
+                f"[{lo}, {hi}]"
+            )
+        if log:
+            log(
+                f"median stabilization: live {live_med:g}, reference "
+                f"{ref_med:g} (ratio {ratio:.3f})"
+            )
+
+    if acceptance is None:
+        pooled = acceptance_pool.violation()
+        if pooled is not None:
+            mismatches.append(f"live acceptance pool: {pooled}")
+    return mismatches

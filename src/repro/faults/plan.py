@@ -587,7 +587,7 @@ class FaultPlan:
         )
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=2)
+        return json.dumps(self.to_dict(), indent=2, allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":

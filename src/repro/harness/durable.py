@@ -714,24 +714,25 @@ class TrialCheckpointStore:
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     def save(self, unit_id: str, seeds: Sequence[int], outcomes) -> Path:
+        from repro.harness.persistence import atomic_write_text, encode_nonfinite
+
         doc = {
             "format_version": self.FORMAT_VERSION,
             "kind": "trial-outcomes",
             "unit_id": unit_id,
             "seeds": [int(s) for s in seeds],
-            "outcomes": [asdict(o) for o in outcomes],
+            "outcomes": encode_nonfinite([asdict(o) for o in outcomes]),
         }
         doc["content_sha256"] = self._hash(doc)
-        from repro.harness.persistence import atomic_write_text
-
         return atomic_write_text(
-            self.path_for(unit_id), json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            self.path_for(unit_id),
+            json.dumps(doc, indent=2, sort_keys=True, allow_nan=False) + "\n",
         )
 
     def load(self, unit_id: str, seeds: Sequence[int]):
         """Reload a unit's outcomes, or ``None`` (quarantining the file)
         when it is missing, corrupt, or describes different seeds."""
-        from repro.harness.persistence import quarantine_file
+        from repro.harness.persistence import decode_nonfinite, quarantine_file
         from repro.harness.runner import TrialOutcome
 
         path = self.path_for(unit_id)
@@ -747,7 +748,9 @@ class TrialCheckpointStore:
             ):
                 quarantine_file(path)
                 return None
-            return [TrialOutcome(**row) for row in doc["outcomes"]]
+            return [
+                TrialOutcome(**row) for row in decode_nonfinite(doc["outcomes"])
+            ]
         except (OSError, json.JSONDecodeError, TypeError, KeyError, ValueError):
             quarantine_file(path)
             return None

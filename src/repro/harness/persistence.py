@@ -21,12 +21,25 @@ primitives):
   :class:`ResultLoadError`, naming the offending path;
   ``load_document(..., strict=False)`` instead returns ``None`` so
   callers can quarantine and regenerate.
+
+Non-finite cells (the tournament's ``math.inf`` inflation sentinel, or a
+``nan`` from an empty sample) are *not* representable in RFC 8259 JSON —
+``json.dump``'s default ``allow_nan=True`` writes the non-standard
+``Infinity``/``NaN`` tokens, which ``jq`` and most non-Python consumers
+reject.  Documents written here therefore encode every non-finite float
+as a portable marker object ``{"__nonfinite__": "inf" | "-inf" | "nan"}``
+and serialize with ``allow_nan=False`` so a leak can never reach disk.
+``load_document`` decodes the markers back to floats and still accepts
+legacy ``Infinity``-bearing files (Python's parser tolerates the tokens),
+so existing checkpoints resume; finite-only tables hash identically under
+both schemes because the encoding is the identity on finite payloads.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import tempfile
 import time
@@ -43,12 +56,75 @@ __all__ = [
     "load_document",
     "atomic_write_text",
     "quarantine_file",
+    "encode_nonfinite",
+    "decode_nonfinite",
+    "strict_json_loads",
 ]
 
 _FORMAT_VERSION = 1
 
 #: Document key holding the payload hash; excluded from the hash itself.
 _HASH_KEY = "content_sha256"
+
+#: Marker key for portably-encoded non-finite floats.  Table cells are
+#: scalars (numbers, strings, booleans), so a single-key object under
+#: this name is unambiguous inside a document payload.
+_NONFINITE_KEY = "__nonfinite__"
+
+_NONFINITE_DECODE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def encode_nonfinite(value):
+    """Recursively replace non-finite floats with portable markers.
+
+    ``math.inf`` → ``{"__nonfinite__": "inf"}`` (and ``-inf``/``nan``
+    likewise); finite values pass through unchanged, so the encoding is
+    the identity on finite-only payloads.  Containers are rebuilt
+    (tuples become lists, matching JSON round-tripping).
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        if value == math.inf:
+            return {_NONFINITE_KEY: "inf"}
+        if value == -math.inf:
+            return {_NONFINITE_KEY: "-inf"}
+        return {_NONFINITE_KEY: "nan"}
+    if isinstance(value, dict):
+        return {key: encode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_nonfinite(item) for item in value]
+    return value
+
+
+def decode_nonfinite(value):
+    """Inverse of :func:`encode_nonfinite`; raises ``ValueError`` on a
+    marker object carrying an unknown token."""
+    if isinstance(value, dict):
+        if set(value) == {_NONFINITE_KEY}:
+            token = value[_NONFINITE_KEY]
+            try:
+                return _NONFINITE_DECODE[token]
+            except KeyError:
+                raise ValueError(
+                    f"unknown non-finite token {token!r}"
+                ) from None
+        return {key: decode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_nonfinite(item) for item in value]
+    return value
+
+
+def _reject_constant(token: str):
+    raise ValueError(f"non-standard JSON constant {token!r} is not RFC 8259")
+
+
+def strict_json_loads(text: str):
+    """``json.loads`` that rejects ``Infinity``/``-Infinity``/``NaN``.
+
+    Use this wherever the harness *reads back its own output* — it turns
+    any future non-finite leak into an immediate parse failure instead of
+    a silently non-portable file.
+    """
+    return json.loads(text, parse_constant=_reject_constant)
 
 
 class ResultLoadError(ValueError):
@@ -157,9 +233,13 @@ def save_table(
     """Write ``table`` (with provenance) as a crash-safe JSON document.
 
     Cells must be JSON-serializable (the tables produced by the registry
-    contain only numbers, strings, and booleans).  The write is atomic
-    (temp file + ``os.replace`` + fsync) and the document carries a
-    ``content_sha256`` verified on load.
+    contain only numbers, strings, and booleans).  Non-finite floats —
+    e.g. the tournament's ``math.inf`` inflation sentinel — are encoded
+    as ``{"__nonfinite__": ...}`` markers and the document is serialized
+    with ``allow_nan=False``, so the on-disk bytes are always strict
+    RFC 8259 JSON.  The write is atomic (temp file + ``os.replace`` +
+    fsync) and the document carries a ``content_sha256`` verified on
+    load.
     """
     import repro
 
@@ -170,11 +250,14 @@ def save_table(
         "profile": profile,
         "created_at": time.time(),
         "package_version": repro.__version__,
-        "extra": extra or {},
-        "table": _table_to_json(table),
+        "extra": encode_nonfinite(extra or {}),
+        "table": encode_nonfinite(_table_to_json(table)),
     }
     doc[_HASH_KEY] = _payload_hash(doc)
-    atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(
+        path,
+        json.dumps(doc, indent=2, sort_keys=True, allow_nan=False) + "\n",
+    )
     return path
 
 
@@ -185,6 +268,12 @@ def load_document(path: str | Path, *, strict: bool = True) -> ResultDocument | 
     content-hash mismatch — raises :class:`ResultLoadError` naming the
     path.  With ``strict=False`` those failures return ``None`` instead,
     for quarantine-and-regenerate flows.
+
+    Both encodings of non-finite cells load: new-format
+    ``{"__nonfinite__": ...}`` markers are decoded back to floats, and
+    legacy files bearing raw ``Infinity``/``NaN`` tokens still parse
+    (Python's reader accepts them) and still hash-verify, so checkpoints
+    written before the portable encoding resume cleanly.
     """
     path = Path(path)
     try:
@@ -202,13 +291,13 @@ def load_document(path: str | Path, *, strict: bool = True) -> ResultDocument | 
         if stored_hash is not None and stored_hash != _payload_hash(doc):
             raise ResultLoadError(path, "content hash mismatch (corrupt or tampered)")
         return ResultDocument(
-            table=_table_from_json(doc["table"]),
+            table=_table_from_json(decode_nonfinite(doc["table"])),
             exp_id=doc["exp_id"],
             profile=doc["profile"],
             created_at=doc["created_at"],
             package_version=doc["package_version"],
             format_version=doc["format_version"],
-            extra=doc.get("extra", {}),
+            extra=decode_nonfinite(doc.get("extra", {})),
         )
     except ResultLoadError:
         if strict:

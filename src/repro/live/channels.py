@@ -1,0 +1,198 @@
+"""Per-edge TCP channels and the per-node listener (data plane).
+
+Each graph edge maps to exactly one TCP connection, shared full-duplex
+by both endpoints.  The dialing side introduces itself with an ``IDENT``
+frame; the accepting side registers the channel under that peer id.  A
+background pump per channel reads frames into an inbox queue, so node
+logic can ``expect`` exactly the frames a protocol phase owes it — the
+phases of a round are self-delimiting because every phase sends a fixed
+number of frames per live edge and TCP preserves per-channel order.
+
+Channel loss is an *event*, not an error: a closed socket (crash fault,
+or a peer that went away) marks the channel down and wakes any reader
+with an EOF sentinel.  Whether that is expected (the coordinator
+announced the crash) or a protocol violation is the node's call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.live import wire
+
+__all__ = ["ChannelError", "EdgeChannel", "ChannelSet"]
+
+#: Inbox sentinel posted by the pump when the underlying socket closes.
+_EOF = (None, None)
+
+#: Listen backlog: a clique hub can receive every initial dial at once.
+_BACKLOG = 512
+
+
+class ChannelError(RuntimeError):
+    """A data channel broke the live framing contract."""
+
+
+class EdgeChannel:
+    """One live edge: a framed, full-duplex connection to one peer."""
+
+    def __init__(self, peer: int, reader, writer):
+        self.peer = peer
+        self.reader = reader
+        self.writer = writer
+        self.up = True
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        self.frames_sent = 0
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def _pump(self) -> None:
+        try:
+            while True:
+                kind, obj = await wire.read_frame(self.reader)
+                if kind == wire.BYE:
+                    break
+                self.inbox.put_nowait((kind, obj))
+        except (asyncio.IncompleteReadError, ConnectionError, wire.WireError):
+            pass
+        finally:
+            self.up = False
+            self.inbox.put_nowait(_EOF)
+
+    async def send(self, kind: int, obj=None) -> bool:
+        """Write one frame; ``False`` (not an error) if the peer is gone.
+
+        Sends to a just-crashed peer are best-effort by design: the
+        sender learns about the crash from its own read of the closed
+        channel (or the coordinator's round message), not from the write.
+        """
+        if not self.up:
+            return False
+        try:
+            self.writer.write(wire.frame_bytes(kind, obj))
+            await self.writer.drain()
+        except (ConnectionError, RuntimeError):
+            self.up = False
+            return False
+        self.frames_sent += 1
+        return True
+
+    async def expect(self, kinds: tuple[int, ...], r: int):
+        """Receive the next frame, which must be one of ``kinds`` for
+        round ``r``; returns ``(kind, body)`` or ``None`` on EOF."""
+        kind, obj = await self.inbox.get()
+        if kind is None:
+            return None
+        if kind not in kinds:
+            raise ChannelError(
+                f"peer {self.peer} sent {wire.kind_name(kind)} while "
+                f"{'/'.join(wire.kind_name(k) for k in kinds)} was due in round {r}"
+            )
+        if isinstance(obj, dict) and obj.get("r") != r:
+            raise ChannelError(
+                f"peer {self.peer} sent {wire.kind_name(kind)} for round "
+                f"{obj.get('r')} during round {r}"
+            )
+        return kind, obj
+
+    def abort(self) -> None:
+        """Hard-close: cancel the pump and drop the socket (crash fault)."""
+        self.up = False
+        self._pump_task.cancel()
+        try:
+            self.writer.close()
+        except RuntimeError:
+            pass
+
+    async def close(self) -> None:
+        """Graceful close: say ``BYE``, then drop the socket."""
+        await self.send(wire.BYE)
+        self.abort()
+
+
+class ChannelSet:
+    """One node's data-plane endpoint: listener plus per-peer channels."""
+
+    def __init__(self, node_id: int, host: str):
+        self.node_id = node_id
+        self.host = host
+        self.port: int | None = None
+        self.channels: dict[int, EdgeChannel] = {}
+        self._up_waiters: dict[int, asyncio.Event] = {}
+        self._server: asyncio.Server | None = None
+        self._frames_retired = 0
+
+    async def start(self) -> int:
+        """Open the listener on an ephemeral port; returns the port."""
+        self._server = await asyncio.start_server(
+            self._on_connect, host=self.host, port=0, backlog=_BACKLOG
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def _on_connect(self, reader, writer) -> None:
+        try:
+            kind, obj = await wire.read_frame(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, wire.WireError):
+            writer.close()
+            return
+        if kind != wire.IDENT or not isinstance(obj, dict):
+            writer.close()
+            return
+        self._register(int(obj["node"]), reader, writer)
+
+    def _register(self, peer: int, reader, writer) -> None:
+        stale = self.channels.pop(peer, None)
+        if stale is not None:
+            stale.abort()
+        self.channels[peer] = EdgeChannel(peer, reader, writer)
+        waiter = self._up_waiters.pop(peer, None)
+        if waiter is not None:
+            waiter.set()
+
+    async def dial(self, peer: int, host: str, port: int) -> EdgeChannel:
+        """Connect to ``peer`` and introduce ourselves."""
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(wire.frame_bytes(wire.IDENT, {"node": self.node_id}))
+        await writer.drain()
+        self._register(peer, reader, writer)
+        return self.channels[peer]
+
+    async def await_up(self, peer: int) -> EdgeChannel:
+        """Wait until ``peer``'s (re-)dial lands; never times out — the
+        caller only waits for dials the coordinator has sequenced."""
+        while True:
+            channel = self.channels.get(peer)
+            if channel is not None and channel.up:
+                return channel
+            waiter = asyncio.Event()
+            self._up_waiters[peer] = waiter
+            await waiter.wait()
+
+    def drop(self, peer: int) -> None:
+        """Hard-drop the channel to ``peer`` if one exists."""
+        channel = self.channels.pop(peer, None)
+        if channel is not None:
+            self._frames_retired += channel.frames_sent
+            channel.abort()
+
+    def crash(self) -> None:
+        """Crash fault: hard-close every data socket (peers read EOF)."""
+        for peer in list(self.channels):
+            self.drop(peer)
+
+    @property
+    def frames_sent(self) -> int:
+        return self._frames_retired + sum(
+            ch.frames_sent for ch in self.channels.values()
+        )
+
+    async def shutdown(self) -> None:
+        """Graceful end-of-run teardown (``BYE`` on every live channel)."""
+        for channel in list(self.channels.values()):
+            await channel.close()
+            self._frames_retired += channel.frames_sent
+        self.channels.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None

@@ -3,16 +3,20 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
 from repro.harness.persistence import (
     ResultLoadError,
     atomic_write_text,
+    decode_nonfinite,
+    encode_nonfinite,
     load_document,
     load_table,
     quarantine_file,
     save_table,
+    strict_json_loads,
 )
 from repro.harness.tables import Table
 
@@ -133,3 +137,103 @@ class TestDurability:
     def test_load_error_is_value_error(self, tmp_path):
         """Backwards compatibility: pre-existing callers catch ValueError."""
         assert issubclass(ResultLoadError, ValueError)
+
+
+def nonfinite_table() -> Table:
+    """A table shaped like the tournament leaderboard's worst case."""
+    t = Table(title="NF", columns=["adversary", "inflation", "score"])
+    t.add_row("crash", math.inf, 0.5)
+    t.add_row("drop", math.nan, -math.inf)
+    return t
+
+
+class TestNonFinite:
+    def test_roundtrip_render_bit_identical(self, tmp_path):
+        path = tmp_path / "nf.json"
+        save_table(nonfinite_table(), path, exp_id="T1", profile="quick")
+        loaded = load_table(path)
+        assert loaded.render() == nonfinite_table().render()
+        assert loaded.rows[0][1] == math.inf
+        assert math.isnan(loaded.rows[1][1])
+        assert loaded.rows[1][2] == -math.inf
+        # Re-save the loaded table: the file bytes (hash aside, which
+        # covers a timestamp) must encode identically.
+        path2 = tmp_path / "nf2.json"
+        save_table(loaded, path2, exp_id="T1", profile="quick")
+        assert json.loads(path.read_text())["table"] == (
+            json.loads(path2.read_text())["table"]
+        )
+
+    def test_on_disk_bytes_are_strict_rfc8259(self, tmp_path):
+        path = tmp_path / "nf.json"
+        save_table(
+            nonfinite_table(), path, exp_id="T1", profile="quick",
+            extra={"worst": math.inf, "nested": {"cells": [math.nan]}},
+        )
+        text = path.read_text()
+        strict_json_loads(text)  # must not raise
+        assert "Infinity" not in text and "NaN" not in text
+
+    def test_strict_json_loads_rejects_tokens(self):
+        with pytest.raises(ValueError, match="RFC 8259"):
+            strict_json_loads('{"x": Infinity}')
+        with pytest.raises(ValueError, match="RFC 8259"):
+            strict_json_loads("[NaN]")
+        assert strict_json_loads('{"x": 1.5}') == {"x": 1.5}
+
+    def test_encode_identity_on_finite_payloads(self, tmp_path):
+        """Finite-only tables hash identically to the pre-encoding format."""
+        doc = {"rows": [[1, 2.5, "s", True, None]], "extra": {"k": [0.1]}}
+        assert encode_nonfinite(doc) == doc
+        assert decode_nonfinite(doc) == doc
+        path = tmp_path / "finite.json"
+        save_table(sample_table(), path, exp_id="E1", profile="quick")
+        assert "__nonfinite__" not in path.read_text()
+
+    def test_encode_decode_inverse(self):
+        value = {"a": math.inf, "b": [math.nan, -math.inf, 3.0], "c": "x"}
+        encoded = encode_nonfinite(value)
+        assert encoded["a"] == {"__nonfinite__": "inf"}
+        decoded = decode_nonfinite(encoded)
+        assert decoded["a"] == math.inf
+        assert math.isnan(decoded["b"][0])
+        assert decoded["b"][1:] == [-math.inf, 3.0]
+        with pytest.raises(ValueError, match="unknown non-finite token"):
+            decode_nonfinite({"__nonfinite__": "huge"})
+
+    def test_hand_corrupted_nonfinite_file(self, tmp_path):
+        """A raw Infinity token edited into a saved file fails the hash
+        check loudly under ``strict=True`` and quarantines cleanly."""
+        path = tmp_path / "nf.json"
+        save_table(nonfinite_table(), path, exp_id="T1", profile="quick")
+        text = path.read_text().replace('{\n          "__nonfinite__": "inf"\n        }', "Infinity", 1)
+        assert "Infinity" in text
+        path.write_text(text)
+        with pytest.raises(ResultLoadError, match="hash"):
+            load_document(path)
+        assert load_document(path, strict=False) is None
+        quarantined = quarantine_file(path)
+        assert not path.exists() and quarantined.exists()
+
+    def test_legacy_infinity_file_still_loads(self, tmp_path):
+        """Checkpoints written before the portable encoding (raw
+        ``Infinity``/``NaN`` tokens) parse and hash-verify unchanged."""
+        from repro.harness.persistence import _payload_hash, _table_to_json
+
+        doc = {
+            "format_version": 1,
+            "exp_id": "T1",
+            "profile": "quick",
+            "created_at": 1.0,
+            "package_version": "legacy",
+            "extra": {"worst": math.inf},
+            "table": _table_to_json(nonfinite_table()),
+        }
+        doc["content_sha256"] = _payload_hash(doc)
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(doc, indent=2))  # allow_nan default
+        assert "Infinity" in path.read_text()
+        loaded = load_document(path)
+        assert loaded.extra == {"worst": math.inf}
+        assert loaded.table.rows[0][1] == math.inf
+        assert math.isnan(loaded.table.rows[1][1])

@@ -128,3 +128,87 @@ class TestTournamentCampaign:
             assert pdoc.table.rows == docs[eid].table.rows
         board = tournament_leaderboard({e: d.table for e, d in docs.items()})
         assert len(board.rows) == len(TOURNAMENT_EXP_IDS) * len(ADVERSARIES)
+
+
+class TestStrictJsonOutputs:
+    """Everything the tournament writes must be strict RFC 8259 JSON."""
+
+    def test_campaign_checkpoints_strict_parse(self, tmp_path):
+        from repro.harness.persistence import strict_json_loads
+
+        config = CampaignConfig(
+            checkpoint_dir=tmp_path / "ckpt",
+            profile="quick",
+            exp_ids=["T1"],
+            overrides={"T1": dict(TINY)},
+        )
+        assert run_campaign(config).ok
+        written = sorted((tmp_path / "ckpt").rglob("*.json"))
+        assert written  # the campaign checkpointed something
+        for path in written:
+            strict_json_loads(path.read_text())  # Infinity/NaN would raise
+
+    def test_leaderboard_inf_sentinel_roundtrips(self, tmp_path):
+        """A no-survivor pairing's ``inf`` inflation survives save/load
+        through the checkpoint document format, byte-strictly."""
+        from repro.harness.persistence import (
+            load_table,
+            save_table,
+            strict_json_loads,
+        )
+        from repro.harness.tables import Table
+
+        grid = Table(title="T", columns=["adversary", "tau", "survival", "inflation"])
+        grid.add_row("none", 1, 1.0, 1.0)
+        grid.add_row("assassin", 1, 0.0, math.inf)
+        board = tournament_leaderboard({"T1": grid})
+        assert math.inf in [row[4] for row in board.rows]
+        path = tmp_path / "leaderboard.json"
+        save_table(board, path, exp_id="TOURNAMENT", profile="quick")
+        strict_json_loads(path.read_text())  # on-disk bytes are portable
+        loaded = load_table(path)
+        assert loaded.render() == board.render()
+        assert math.inf in [row[4] for row in loaded.rows]
+
+    def test_cli_output_json_uses_document_format(self, tmp_path, monkeypatch, capsys):
+        """``repro tournament --output X.json`` writes the checkpoint
+        document format, so the inf sentinel round-trips portably."""
+        from repro.cli import main
+        from repro.harness import campaign as campaign_mod
+        from repro.harness import tournament as tournament_mod
+        from repro.harness.persistence import (
+            load_document,
+            save_table,
+            strict_json_loads,
+        )
+        from repro.harness.tables import Table
+
+        grid = Table(title="T", columns=["adversary", "tau", "survival", "inflation"])
+        grid.add_row("none", 1, 1.0, 1.0)
+        grid.add_row("assassin", 1, 0.0, math.inf)
+        ckpt_dir = tmp_path / "ckpt"
+        save_table(
+            grid,
+            campaign_mod.checkpoint_path(ckpt_dir, "T1", "quick"),
+            exp_id="T1",
+            profile="quick",
+        )
+
+        class _Report:
+            ok = True
+
+            def summary(self):
+                return "stub campaign: 1/1 resumed"
+
+        monkeypatch.setattr(campaign_mod, "run_campaign", lambda *a, **kw: _Report())
+        monkeypatch.setattr(tournament_mod, "TOURNAMENT_EXP_IDS", ("T1",))
+        out = tmp_path / "board.json"
+        status = main([
+            "tournament", "--checkpoint-dir", str(ckpt_dir), "--output", str(out),
+        ])
+        assert status == 0
+        strict_json_loads(out.read_text())
+        doc = load_document(out)
+        assert doc.exp_id == "TOURNAMENT"
+        assert math.inf in [row[4] for row in doc.table.rows]
+        assert "T1" in doc.extra["grids"]
